@@ -1,0 +1,87 @@
+// Command emigre-server serves Why-Not explanations over HTTP.
+//
+//	emigre-server -preset books -addr :8080
+//	emigre-server -graph store.json -item-types item -edge-types rated,reviewed
+//
+// Endpoints (JSON):
+//
+//	GET  /healthz
+//	GET  /stats
+//	GET  /recommend?user=Paul&n=10
+//	POST /explain   {"user":"Paul","wni":"Harry Potter","mode":"remove","method":"powerset"}
+//	POST /explain   {"user":"Paul","items":["A","B"],"mode":"add"}        (group)
+//	POST /explain   {"user":"Paul","category":"Fantasy","mode":"add"}     (category)
+//	POST /diagnose  {"user":"Paul","wni":"The Hobbit","mode":"remove"}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	emigre "github.com/why-not-xai/emigre"
+	"github.com/why-not-xai/emigre/internal/cli"
+	"github.com/why-not-xai/emigre/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emigre-server: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphPath = flag.String("graph", "", "graph file (JSON/TSV from emigre-gen)")
+		preset    = flag.String("preset", "", "built-in graph: books")
+		itemTypes = flag.String("item-types", "item", "comma-separated recommendable node types")
+		edgeTypes = flag.String("edge-types", "rated,reviewed", "comma-separated T_e (explanation edge types)")
+		addType   = flag.String("add-type", "rated", "edge type used for Add-mode suggestions")
+		alpha     = flag.Float64("alpha", 0.15, "PPR teleportation probability")
+		epsilon   = flag.Float64("epsilon", 2.7e-8, "local-push residual threshold")
+		beta      = flag.Float64("beta", 1, "transition mix: 1=weighted walk, 0=uniform")
+		maxTests  = flag.Int("max-tests", 200, "CHECK budget per explanation request")
+	)
+	flag.Parse()
+
+	g, err := cli.LoadGraph(*graphPath, *preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := emigre.RecommenderConfig{PPR: emigre.DefaultPPRParams(), Beta: *beta}
+	cfg.PPR.Alpha = *alpha
+	cfg.PPR.Epsilon = *epsilon
+	cfg.ItemTypes, err = cli.NodeTypeIDs(g, *itemTypes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := emigre.NewRecommender(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allowed, err := cli.EdgeTypeIDs(g, *edgeTypes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addIDs, err := cli.EdgeTypeIDs(g, *addType)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Graph:       g,
+		Recommender: r,
+		Options: emigre.Options{
+			AllowedEdgeTypes: emigre.NewEdgeTypeSet(allowed...),
+			AddEdgeType:      addIDs[0],
+			MaxTests:         *maxTests,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d nodes / %d edges on %s", g.NumNodes(), g.NumEdges(), *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpServer.ListenAndServe())
+}

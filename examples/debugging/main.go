@@ -1,0 +1,91 @@
+// Debugging is the system-designer session sketched in §6.4 of the
+// paper: scan a store's users for Why-Not questions that Remove mode
+// cannot answer, and let EMiGRe's Diagnose API classify each failure
+// into the paper's meta-explanation taxonomy:
+//
+//   - cold start / less active user: too few actions to remove;
+//
+//   - out of scope: removals alone cannot promote the item, but another
+//     mode (Add or the Combined extension) can;
+//
+//   - popular item: the displaced recommendation draws its score from
+//     other users' actions, out of this user's reach (Figure 7).
+//
+//     go run ./examples/debugging
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	emigre "github.com/why-not-xai/emigre"
+)
+
+func main() {
+	cfg := emigre.SmallDatasetConfig()
+	cfg.Seed = 7
+	ds, err := emigre.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rcfg := emigre.DefaultRecommenderConfig(ds.Types.Item)
+	rcfg.PPR.Epsilon = 1e-7
+	rec, err := emigre.NewRecommender(ds.Graph, rcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex := emigre.NewExplainer(ds.Graph, rec, emigre.Options{
+		AllowedEdgeTypes: ds.UserActionEdgeTypes(),
+		AddEdgeType:      ds.Types.Reviewed,
+		MaxTests:         80,
+	})
+
+	fmt.Println("Scanning for Remove-mode failures and classifying them (§6.4)...")
+	fmt.Println()
+	failures := 0
+	kinds := map[emigre.FailureKind]int{}
+	for _, u := range ds.Users[:12] {
+		top, err := rec.TopN(u, 4)
+		if err != nil || len(top) < 2 {
+			continue
+		}
+		for _, wni := range top[1:] {
+			q := emigre.Query{User: u, WNI: wni.Node}
+			_, err := ex.ExplainWith(q, emigre.Remove, emigre.Exhaustive)
+			if err == nil {
+				continue // Remove mode can answer: nothing to debug
+			}
+			if !errors.Is(err, emigre.ErrNoExplanation) {
+				log.Fatal(err)
+			}
+			d, err := ex.Diagnose(q, emigre.Remove)
+			if err != nil {
+				log.Fatal(err)
+			}
+			failures++
+			kinds[d.Kind]++
+			fmt.Printf("user %-9s why-not %-9s -> %s\n",
+				ds.Graph.Label(u), ds.Graph.Label(wni.Node), d.Kind)
+			fmt.Printf("  %s\n", d.Detail)
+			if d.Kind == emigre.FailureOutOfScope {
+				// Show the designer the answer the working mode found.
+				expl, err := ex.ExplainWith(q, d.WorkingMode, emigre.Exhaustive)
+				if err == nil {
+					fmt.Printf("  %s\n", expl.Describe(ds.Graph))
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if failures == 0 {
+		fmt.Println("No Remove-mode failures among the scanned users — rerun with another seed.")
+		return
+	}
+	fmt.Printf("%d unanswerable Remove-mode questions diagnosed:\n", failures)
+	for _, k := range []emigre.FailureKind{emigre.FailureColdStart, emigre.FailureOutOfScope, emigre.FailurePopularItem} {
+		if kinds[k] > 0 {
+			fmt.Printf("  %-14s %d\n", k.String(), kinds[k])
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: ask one Why-Not question on the paper's running-example
+// books graph and print the counterfactual explanations in both modes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emigre "github.com/why-not-xai/emigre"
+)
+
+func main() {
+	// The Figure-1 graph: Paul read Candide and C, follows two other
+	// readers, and is recommended Python.
+	books, err := emigre.NewBooks()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := emigre.DefaultRecommenderConfig(books.Types.Item)
+	cfg.Beta = 1 // plain weighted walk for the toy graph
+	rec, err := emigre.NewRecommender(books.Graph, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	top, err := rec.Recommend(books.Paul)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Paul's recommendation: %s\n", books.Graph.Label(top))
+	fmt.Printf("Paul asks: why not %s?\n\n", books.Graph.Label(books.HarryPotter))
+
+	ex := emigre.NewExplainer(books.Graph, rec, emigre.Options{
+		AllowedEdgeTypes: books.ActionEdgeTypes(), // only reading actions
+		AddEdgeType:      books.Types.Rated,
+	})
+	query := emigre.Query{User: books.Paul, WNI: books.HarryPotter}
+
+	// Remove mode: which past actions caused the miss?
+	removal, err := ex.ExplainWith(query, emigre.Remove, emigre.Powerset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Remove mode:", removal.Describe(books.Graph))
+
+	// Add mode: which new action would fix it?
+	addition, err := ex.ExplainWith(query, emigre.Add, emigre.Powerset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Add mode:  ", addition.Describe(books.Graph))
+}

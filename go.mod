@@ -1,0 +1,3 @@
+module github.com/why-not-xai/emigre
+
+go 1.22

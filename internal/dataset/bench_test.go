@@ -1,0 +1,48 @@
+package dataset
+
+import "testing"
+
+func BenchmarkGenerateRaw(b *testing.B) {
+	cfg := SmallConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := GenerateRaw(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	raw, err := GenerateRaw(SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiteExtraction(b *testing.B) {
+	a, err := Generate(SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := LiteConfig{Seed: 1, SampleUsers: 10, MinActions: 5, MaxActions: 100, Hops: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.Lite(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewBooks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBooks(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

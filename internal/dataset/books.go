@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// Books is the paper's Figure-1 running example: a small book
+// recommendation graph in which Paul, who read Candide and C and
+// follows two other readers, is recommended Python and asks "Why not
+// Harry Potter?".
+//
+// The node IDs differ from the paper's figure (which never fully
+// specifies its graph); the structure is tuned so that the published
+// story holds exactly:
+//
+//   - Paul's top-1 recommendation is Python (the programming cluster he
+//     reaches through C is the strongest);
+//   - Remove mode explains the missing Harry Potter with Paul's past
+//     actions {Candide, C} (Figure 1a);
+//   - Add mode explains it with the suggested action {The Lord of the
+//     Rings} (Figure 1b);
+//   - a PRINCE-style Why explanation of the current recommendation
+//     instead removes {C} and lands on The Alchemist (Figure 2) — a
+//     different answer to a different question.
+type Books struct {
+	Graph *hin.Graph
+	Types Types
+
+	// Users.
+	Paul, Alice, Dan, Greg, Hank, Clara, Fiona hin.NodeID
+	// Fantasy shelf.
+	HarryPotter, LordOfTheRings, TheHobbit hin.NodeID
+	// Classics shelf.
+	Candide, TheAlchemist, Zadig hin.NodeID
+	// Programming shelf.
+	C, Python, Java hin.NodeID
+	// Categories.
+	Fantasy, Classics, Programming hin.NodeID
+
+	// Follows is the user-user edge type (the figure's green edges).
+	Follows hin.EdgeTypeID
+}
+
+// followWeight keeps Paul's social edges weaker than his reading
+// actions, as in the figure where recommendations are driven primarily
+// by books: it is tuned so that Harry Potter (reached through Alice)
+// trails both Python and The Alchemist initially, yet dominates once
+// Paul's two reading actions are counterfactually removed.
+const followWeight = 0.2
+
+// NewBooks builds the running-example graph.
+func NewBooks() (*Books, error) {
+	g := hin.NewGraph()
+	types := RegisterTypes(g.Types())
+	b := &Books{Graph: g, Types: types, Follows: g.Types().EdgeType("follows")}
+
+	b.Paul = g.AddNode(types.User, "Paul")
+	b.Alice = g.AddNode(types.User, "Alice")
+	b.Dan = g.AddNode(types.User, "Dan")
+	b.Greg = g.AddNode(types.User, "Greg")
+	b.Hank = g.AddNode(types.User, "Hank")
+	b.Clara = g.AddNode(types.User, "Clara")
+	b.Fiona = g.AddNode(types.User, "Fiona")
+
+	b.HarryPotter = g.AddNode(types.Item, "Harry Potter")
+	b.LordOfTheRings = g.AddNode(types.Item, "The Lord of the Rings")
+	b.TheHobbit = g.AddNode(types.Item, "The Hobbit")
+	b.Candide = g.AddNode(types.Item, "Candide")
+	b.TheAlchemist = g.AddNode(types.Item, "The Alchemist")
+	b.Zadig = g.AddNode(types.Item, "Zadig")
+	b.C = g.AddNode(types.Item, "C")
+	b.Python = g.AddNode(types.Item, "Python")
+	b.Java = g.AddNode(types.Item, "Java")
+
+	b.Fantasy = g.AddNode(types.Category, "Fantasy")
+	b.Classics = g.AddNode(types.Category, "Classics")
+	b.Programming = g.AddNode(types.Category, "Programming")
+
+	type link struct {
+		a, b hin.NodeID
+		typ  hin.EdgeTypeID
+		w    float64
+	}
+	links := []link{
+		// Shelves.
+		{b.HarryPotter, b.Fantasy, types.BelongsTo, 1},
+		{b.LordOfTheRings, b.Fantasy, types.BelongsTo, 1},
+		{b.TheHobbit, b.Fantasy, types.BelongsTo, 1},
+		{b.Candide, b.Classics, types.BelongsTo, 1},
+		{b.TheAlchemist, b.Classics, types.BelongsTo, 1},
+		{b.Zadig, b.Classics, types.BelongsTo, 1},
+		{b.C, b.Programming, types.BelongsTo, 1},
+		{b.Python, b.Programming, types.BelongsTo, 1},
+		{b.Java, b.Programming, types.BelongsTo, 1},
+
+		// Paul: two past reading actions and two social links.
+		{b.Paul, b.Candide, types.Rated, 1},
+		{b.Paul, b.C, types.Rated, 1},
+		{b.Paul, b.Alice, b.Follows, followWeight},
+		{b.Paul, b.Dan, b.Follows, followWeight},
+
+		// Alice: the Harry Potter fan Paul follows.
+		{b.Alice, b.HarryPotter, types.Rated, 1},
+
+		// Dan: eclectic, low influence.
+		{b.Dan, b.TheHobbit, types.Rated, 1},
+		{b.Dan, b.Java, types.Rated, 1},
+
+		// Greg and Hank: the programming cluster that powers Python.
+		{b.Greg, b.C, types.Rated, 1},
+		{b.Greg, b.Python, types.Rated, 1},
+		{b.Hank, b.C, types.Rated, 1},
+		{b.Hank, b.Python, types.Rated, 1},
+
+		// Clara: the classics cluster that powers The Alchemist (the
+		// lower Zadig weight keeps The Alchemist strictly ahead of it).
+		{b.Clara, b.Candide, types.Rated, 1},
+		{b.Clara, b.TheAlchemist, types.Rated, 1},
+		{b.Clara, b.Zadig, types.Rated, 0.6},
+
+		// Fiona: the fantasy cluster behind The Lord of the Rings.
+		{b.Fiona, b.LordOfTheRings, types.Rated, 1},
+		{b.Fiona, b.HarryPotter, types.Rated, 1},
+		{b.Fiona, b.TheHobbit, types.Rated, 1},
+	}
+	for _, l := range links {
+		if err := g.AddBidirectional(l.a, l.b, l.typ, l.w); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ActionEdgeTypes returns the explanation search space T_e of the
+// running example: Paul's reading actions ("rated").
+func (b *Books) ActionEdgeTypes() hin.EdgeTypeSet {
+	return hin.NewEdgeTypeSet(b.Types.Rated)
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteRatingsCSV exports the raw ratings in the column layout of the
+// original Amazon release subset this generator substitutes for:
+// user_id, item_id, star_rating, review_body. The file round-trips
+// through ReadRatingsCSV, so pipelines can be exercised end-to-end
+// against files on disk.
+func (raw *Raw) WriteRatingsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user_id", "item_id", "star_rating", "review_body"}); err != nil {
+		return err
+	}
+	for _, r := range raw.Ratings {
+		rec := []string{
+			strconv.Itoa(r.User),
+			strconv.Itoa(r.Item),
+			strconv.Itoa(r.Stars),
+			r.Review,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteItemsCSV exports the item-category memberships: item_id,
+// categories (a ";"-separated list of category indices).
+func (raw *Raw) WriteItemsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"item_id", "categories"}); err != nil {
+		return err
+	}
+	for i, cats := range raw.ItemCategories {
+		parts := make([]string, len(cats))
+		for k, c := range cats {
+			parts[k] = strconv.Itoa(c)
+		}
+		if err := cw.Write([]string{strconv.Itoa(i), strings.Join(parts, ";")}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRawCSV rebuilds a Raw dataset from the two CSV files written by
+// WriteItemsCSV and WriteRatingsCSV. The provided Config supplies the
+// preprocessing knobs (thresholds, embedding dimension); its size
+// fields are overwritten by what the files actually contain.
+func ReadRawCSV(cfg Config, items, ratings io.Reader) (*Raw, error) {
+	ir := csv.NewReader(items)
+	ir.FieldsPerRecord = 2
+	itemRows, err := ir.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading items CSV: %w", err)
+	}
+	if len(itemRows) == 0 || itemRows[0][0] != "item_id" {
+		return nil, fmt.Errorf("dataset: items CSV missing header")
+	}
+	itemRows = itemRows[1:]
+	itemCats := make([][]int, len(itemRows))
+	maxCat := -1
+	for _, row := range itemRows {
+		id, err := strconv.Atoi(row[0])
+		if err != nil || id < 0 || id >= len(itemRows) {
+			return nil, fmt.Errorf("dataset: bad item id %q (ids must be dense)", row[0])
+		}
+		if itemCats[id] != nil {
+			return nil, fmt.Errorf("dataset: duplicate item id %d", id)
+		}
+		var cats []int
+		for _, part := range strings.Split(row[1], ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			c, err := strconv.Atoi(part)
+			if err != nil || c < 0 {
+				return nil, fmt.Errorf("dataset: item %d has bad category %q", id, part)
+			}
+			if c > maxCat {
+				maxCat = c
+			}
+			cats = append(cats, c)
+		}
+		if len(cats) == 0 {
+			return nil, fmt.Errorf("dataset: item %d has no category", id)
+		}
+		sort.Ints(cats)
+		itemCats[id] = cats
+	}
+
+	rr := csv.NewReader(ratings)
+	rr.FieldsPerRecord = 4
+	ratingRows, err := rr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading ratings CSV: %w", err)
+	}
+	if len(ratingRows) == 0 || ratingRows[0][0] != "user_id" {
+		return nil, fmt.Errorf("dataset: ratings CSV missing header")
+	}
+	ratingRows = ratingRows[1:]
+	var recs []Rating
+	maxUser := -1
+	for i, row := range ratingRows {
+		u, err1 := strconv.Atoi(row[0])
+		it, err2 := strconv.Atoi(row[1])
+		stars, err3 := strconv.Atoi(row[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dataset: ratings CSV row %d malformed", i+2)
+		}
+		if u < 0 || it < 0 || it >= len(itemCats) {
+			return nil, fmt.Errorf("dataset: ratings CSV row %d references unknown user/item", i+2)
+		}
+		if stars < 1 || stars > 5 {
+			return nil, fmt.Errorf("dataset: ratings CSV row %d has stars %d outside 1-5", i+2, stars)
+		}
+		if u > maxUser {
+			maxUser = u
+		}
+		recs = append(recs, Rating{User: u, Item: it, Stars: stars, Review: row[3]})
+	}
+	cfg.Users = maxUser + 1
+	cfg.Items = len(itemCats)
+	cfg.Categories = maxCat + 1
+	if cfg.Users == 0 || cfg.Categories == 0 {
+		return nil, fmt.Errorf("dataset: CSV files contain no usable data")
+	}
+	if cfg.PreferredCategories > cfg.Categories {
+		// The taste knob only matters for generation; clamp it so small
+		// files pass validation.
+		cfg.PreferredCategories = cfg.Categories
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Raw{Config: cfg, ItemCategories: itemCats, Ratings: recs}, nil
+}

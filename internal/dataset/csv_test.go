@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRatingsCSVRoundTrip(t *testing.T) {
+	cfg := SmallConfig()
+	raw, err := GenerateRaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items, ratings bytes.Buffer
+	if err := raw.WriteItemsCSV(&items); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.WriteRatingsCSV(&ratings); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRawCSV(cfg, &items, &ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ratings) != len(raw.Ratings) {
+		t.Fatalf("rating count %d != %d", len(back.Ratings), len(raw.Ratings))
+	}
+	for i := range raw.Ratings {
+		if raw.Ratings[i] != back.Ratings[i] {
+			t.Fatalf("rating %d differs: %+v vs %+v", i, raw.Ratings[i], back.Ratings[i])
+		}
+	}
+	if len(back.ItemCategories) != len(raw.ItemCategories) {
+		t.Fatal("item counts differ")
+	}
+	for i := range raw.ItemCategories {
+		if len(raw.ItemCategories[i]) != len(back.ItemCategories[i]) {
+			t.Fatalf("item %d categories differ", i)
+		}
+		for k := range raw.ItemCategories[i] {
+			if raw.ItemCategories[i][k] != back.ItemCategories[i][k] {
+				t.Fatalf("item %d category %d differs", i, k)
+			}
+		}
+	}
+	// The round-tripped raw must build an equivalent graph.
+	g1, err := BuildGraph(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildGraph(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Graph.NumNodes() != g2.Graph.NumNodes() || g1.Graph.NumEdges() != g2.Graph.NumEdges() {
+		t.Fatalf("graphs differ after CSV round trip: %d/%d vs %d/%d",
+			g1.Graph.NumNodes(), g1.Graph.NumEdges(), g2.Graph.NumNodes(), g2.Graph.NumEdges())
+	}
+}
+
+func TestReadRawCSVErrors(t *testing.T) {
+	cfg := SmallConfig()
+	goodItems := "item_id,categories\n0,0;1\n1,1\n"
+	goodRatings := "user_id,item_id,star_rating,review_body\n0,0,5,great\n0,1,2,meh\n"
+	cases := []struct {
+		name           string
+		items, ratings string
+	}{
+		{"missing items header", "x,y\n0,0\n", goodRatings},
+		{"bad item id", "item_id,categories\nxx,0\n", goodRatings},
+		{"sparse item ids", "item_id,categories\n5,0\n", goodRatings},
+		{"duplicate item id", "item_id,categories\n0,0\n0,1\n", goodRatings},
+		{"item without category", "item_id,categories\n0,\n", goodRatings},
+		{"negative category", "item_id,categories\n0,-2\n", goodRatings},
+		{"missing ratings header", goodItems, "a,b,c,d\n0,0,5,x\n"},
+		{"bad stars", goodItems, "user_id,item_id,star_rating,review_body\n0,0,9,x\n"},
+		{"unknown item", goodItems, "user_id,item_id,star_rating,review_body\n0,7,5,x\n"},
+		{"malformed row", goodItems, "user_id,item_id,star_rating,review_body\n0,zz,5,x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadRawCSV(cfg, strings.NewReader(tc.items), strings.NewReader(tc.ratings))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	// The happy path of the handwritten fixtures parses.
+	raw, err := ReadRawCSV(cfg, strings.NewReader(goodItems), strings.NewReader(goodRatings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Config.Users != 1 || raw.Config.Items != 2 || raw.Config.Categories != 2 {
+		t.Fatalf("inferred sizes wrong: %+v", raw.Config)
+	}
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// LiteConfig parameterizes the "Amazon Lite" extraction of §6.1:
+// randomly sample moderate/active users and keep their H-hop
+// neighborhood.
+type LiteConfig struct {
+	Seed int64
+	// SampleUsers is the number of users to sample (the paper uses 100).
+	SampleUsers int
+	// MinActions/MaxActions bound a "moderate/active" user's action
+	// count (out-degree over rated+reviewed edges). Paper: 10–100.
+	MinActions int
+	MaxActions int
+	// Hops is the neighborhood radius (paper: 4).
+	Hops int
+}
+
+// DefaultLiteConfig returns the paper's sampling parameters.
+func DefaultLiteConfig() LiteConfig {
+	return LiteConfig{Seed: 1, SampleUsers: 100, MinActions: 10, MaxActions: 100, Hops: 4}
+}
+
+// Lite extracts the evaluation subgraph: it samples up to
+// cfg.SampleUsers users whose action count lies in [MinActions,
+// MaxActions], walks cfg.Hops BFS hops from them (over out-edges; the
+// graph is bidirectional so this is the full neighborhood), and builds
+// the induced subgraph. It returns the new dataset and the sampled
+// users' node IDs in the new graph.
+func (a *Amazon) Lite(cfg LiteConfig) (*Amazon, []hin.NodeID, error) {
+	if cfg.SampleUsers <= 0 {
+		return nil, nil, fmt.Errorf("dataset: SampleUsers must be positive, got %d", cfg.SampleUsers)
+	}
+	if cfg.Hops < 0 {
+		return nil, nil, fmt.Errorf("dataset: Hops must be non-negative, got %d", cfg.Hops)
+	}
+	actionTypes := a.UserActionEdgeTypes()
+	var eligible []hin.NodeID
+	for _, u := range a.Users {
+		actions := len(a.Graph.OutEdgesOfType(u, actionTypes))
+		if actions >= cfg.MinActions && actions <= cfg.MaxActions {
+			eligible = append(eligible, u)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, nil, fmt.Errorf("dataset: no users with %d-%d actions", cfg.MinActions, cfg.MaxActions)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	if len(eligible) > cfg.SampleUsers {
+		eligible = eligible[:cfg.SampleUsers]
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
+
+	// BFS to cfg.Hops from all sampled users.
+	keep := make(map[hin.NodeID]bool, len(eligible))
+	frontier := make([]hin.NodeID, 0, len(eligible))
+	for _, u := range eligible {
+		keep[u] = true
+		frontier = append(frontier, u)
+	}
+	for hop := 0; hop < cfg.Hops && len(frontier) > 0; hop++ {
+		var next []hin.NodeID
+		for _, v := range frontier {
+			a.Graph.OutEdges(v, func(h hin.HalfEdge) bool {
+				if !keep[h.Node] {
+					keep[h.Node] = true
+					next = append(next, h.Node)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+
+	lite, remap, err := a.induced(keep)
+	if err != nil {
+		return nil, nil, err
+	}
+	sampled := make([]hin.NodeID, len(eligible))
+	for i, u := range eligible {
+		sampled[i] = remap[u]
+	}
+	return lite, sampled, nil
+}
+
+// induced builds the subgraph over the kept nodes, preserving labels
+// and types, and returns the old→new ID mapping.
+func (a *Amazon) induced(keep map[hin.NodeID]bool) (*Amazon, map[hin.NodeID]hin.NodeID, error) {
+	g2 := hin.NewGraph()
+	types := RegisterTypes(g2.Types())
+	out := &Amazon{Graph: g2, Types: types}
+
+	old := make([]hin.NodeID, 0, len(keep))
+	for v := range keep {
+		old = append(old, v)
+	}
+	sort.Slice(old, func(i, j int) bool { return old[i] < old[j] })
+
+	reg := a.Graph.Types()
+	remap := make(map[hin.NodeID]hin.NodeID, len(old))
+	for _, v := range old {
+		name := reg.NodeTypeName(a.Graph.NodeType(v))
+		id := g2.AddNode(g2.Types().NodeType(name), a.Graph.Label(v))
+		remap[v] = id
+		switch name {
+		case TypeUser:
+			out.Users = append(out.Users, id)
+		case TypeItem:
+			out.Items = append(out.Items, id)
+		case TypeCategory:
+			out.Categories = append(out.Categories, id)
+		case TypeReview:
+			out.Reviews = append(out.Reviews, id)
+		}
+	}
+	for _, v := range old {
+		var addErr error
+		a.Graph.OutEdges(v, func(h hin.HalfEdge) bool {
+			if !keep[h.Node] {
+				return true
+			}
+			name := reg.EdgeTypeName(h.Type)
+			if err := g2.AddEdge(remap[v], remap[h.Node], g2.Types().EdgeType(name), h.Weight); err != nil {
+				addErr = err
+				return false
+			}
+			return true
+		})
+		if addErr != nil {
+			return nil, nil, addErr
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: induced subgraph invalid: %w", err)
+	}
+	return out, remap, nil
+}

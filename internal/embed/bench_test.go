@@ -1,0 +1,32 @@
+package embed
+
+import "testing"
+
+const benchText = "epic fantasy worldbuilding magic quest dragons great read loved it"
+
+func BenchmarkEncode(b *testing.B) {
+	e := NewEncoder(DefaultDim)
+	for i := 0; i < b.N; i++ {
+		if v := e.Encode(benchText); len(v) != DefaultDim {
+			b.Fatal("bad encoding")
+		}
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	e := NewEncoder(DefaultDim)
+	x := e.Encode(benchText)
+	y := e.Encode("mystery detective clues atmospheric noir well written story")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cosine(x, y)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Tokenize(benchText)) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package emigre
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bruteForce is the paper's Remove-mode baseline (§6.2): enumerate every
+// subset of the user's allowed past actions in ascending size order and
+// CHECK each one. When it succeeds within its budget, the returned
+// explanation is minimal: no smaller subset is an explanation, because
+// all smaller subsets were checked first.
+//
+// Full enumeration is 2^|A|; the paper accepts the cost ("the process is
+// expected to consume a lot of processing time"), we bound it with
+// Options.MaxCombinationSize and Options.MaxTests instead. With the
+// default budget every subset of size ≤ 5 of a 20-action user is
+// examined — well past the explanation sizes the paper observes.
+func (s *session) bruteForce() (*Explanation, error) {
+	h := s.cands // Algorithm 1's A, with T_e applied; no sign pruning
+	if len(h) == 0 {
+		return nil, fmt.Errorf("%w (brute force: user has no removable actions)", ErrNoExplanation)
+	}
+	maxSize := s.ex.opts.MaxCombinationSize
+	if maxSize > len(h) {
+		maxSize = len(h)
+	}
+	budgetHit := false
+	for size := 1; size <= maxSize && !budgetHit; size++ {
+		var stop error
+		combinations(len(h), size, func(idx []int) bool {
+			s.stats.CombosExamined++
+			selected := make([]candidate, len(idx))
+			for i, j := range idx {
+				selected[i] = h[j]
+			}
+			ok, top, err := s.check(selected)
+			if err != nil {
+				if errors.Is(err, ErrBudgetExhausted) {
+					budgetHit = true
+					return false
+				}
+				stop = err
+				return false
+			}
+			if ok {
+				expl := s.found(selected, true, top)
+				stop = &foundSignal{expl}
+				return false
+			}
+			return true
+		})
+		if stop != nil {
+			var f *foundSignal
+			if errors.As(stop, &f) {
+				return f.expl, nil
+			}
+			return nil, stop
+		}
+	}
+	err := fmt.Errorf("%w (brute force: |A|=%d, %d subsets checked)",
+		ErrNoExplanation, len(h), s.stats.Tests)
+	if budgetHit {
+		err = errors.Join(err, ErrBudgetExhausted)
+	}
+	return nil, err
+}
+
+// foundSignal tunnels a successful explanation out of the combination
+// callback.
+type foundSignal struct{ expl *Explanation }
+
+func (f *foundSignal) Error() string { return "emigre: explanation found" }

@@ -1,0 +1,51 @@
+package emigre
+
+// combinations enumerates all index combinations of size c from
+// {0..n-1} in lexicographic order, invoking visit with a reused buffer.
+// Enumeration stops early when visit returns false.
+func combinations(n, c int, visit func(idx []int) bool) {
+	if c <= 0 || c > n {
+		return
+	}
+	idx := make([]int, c)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !visit(idx) {
+			return
+		}
+		// Advance to the next combination.
+		i := c - 1
+		for i >= 0 && idx[i] == n-c+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < c; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// binomial returns C(n, k), saturating at a large sentinel to avoid
+// overflow; it is only used for budgeting decisions.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	const cap = 1 << 40
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+		if res > cap {
+			return cap
+		}
+	}
+	return res
+}

@@ -1,0 +1,102 @@
+package emigre
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/rec"
+)
+
+func TestDynamicCheckMatchesStaticOnFixture(t *testing.T) {
+	for _, mode := range []Mode{Remove, Add, Combined} {
+		for _, method := range []Method{Incremental, Powerset, Exhaustive} {
+			t.Run(mode.String()+"/"+method.String(), func(t *testing.T) {
+				static := newFixture(t, Options{})
+				dynamic := newFixture(t, Options{DynamicCheck: true})
+				se, serr := static.ex.ExplainWith(static.query(), mode, method)
+				de, derr := dynamic.ex.ExplainWith(dynamic.query(), mode, method)
+				if (serr == nil) != (derr == nil) {
+					t.Fatalf("static err %v, dynamic err %v", serr, derr)
+				}
+				if serr != nil {
+					return
+				}
+				// Both must be real explanations; the exact edge sets may
+				// differ only through tolerance-level tie-breaks.
+				ok, err := static.ex.Verify(de)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("dynamic-check explanation %v fails static verification", de.Edges)
+				}
+				if se.Size() != de.Size() {
+					t.Fatalf("sizes differ: static %d vs dynamic %d", se.Size(), de.Size())
+				}
+			})
+		}
+	}
+}
+
+func TestDynamicCheckRandomGraphsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 10; trial++ {
+		g := hin.NewGraph()
+		user := g.Types().NodeType("user")
+		item := g.Types().NodeType("item")
+		rated := g.Types().EdgeType("rated")
+		nUsers, nItems := 4+rng.Intn(4), 10+rng.Intn(8)
+		for i := 0; i < nUsers; i++ {
+			g.AddNode(user, "")
+		}
+		for i := 0; i < nItems; i++ {
+			g.AddNode(item, "")
+		}
+		for i := 0; i < nUsers*5; i++ {
+			u := hin.NodeID(rng.Intn(nUsers))
+			it := hin.NodeID(nUsers + rng.Intn(nItems))
+			if !g.HasEdge(u, it) {
+				_ = g.AddBidirectional(u, it, rated, 1+rng.Float64()*2)
+			}
+		}
+		cfg := rec.DefaultConfig(item)
+		cfg.Beta = 0.5 // exercise the β-view path under dynamic updates
+		r, err := rec.New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exDyn := New(g, r, Options{
+			AllowedEdgeTypes: hin.NewEdgeTypeSet(rated),
+			AddEdgeType:      rated,
+			DynamicCheck:     true,
+		})
+		exStatic := New(g, r, Options{
+			AllowedEdgeTypes: hin.NewEdgeTypeSet(rated),
+			AddEdgeType:      rated,
+		})
+		u := hin.NodeID(rng.Intn(nUsers))
+		top, err := r.TopN(u, 4)
+		if err != nil || len(top) < 2 {
+			continue
+		}
+		q := Query{User: u, WNI: top[len(top)-1].Node}
+		for _, mode := range []Mode{Remove, Add} {
+			expl, err := exDyn.ExplainWith(q, mode, Powerset)
+			if errors.Is(err, ErrNoExplanation) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := exStatic.Verify(expl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d %v: dynamic-check explanation unsound: %v", trial, mode, expl.Edges)
+			}
+		}
+	}
+}

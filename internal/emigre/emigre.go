@@ -1,0 +1,691 @@
+// Package emigre implements EMiGRe, the Why-Not explainer for graph
+// recommenders from "Why-Not Explainable Graph Recommender" (Attolou,
+// Tzompanaki, Stefanidis, Kotzinos — ICDE 2024).
+//
+// Given a user u whose current top-1 recommendation is rec, and a
+// Why-Not item WNI the user expected instead (Definition 4.1), EMiGRe
+// computes a counterfactual set of user-rooted edges A* (Definition
+// 4.2) such that applying A* to the graph — removing past actions
+// (Remove mode) or adding suggested actions (Add mode) — makes WNI the
+// top-1 recommendation.
+//
+// Three explanation strategies are provided, mirroring §5.2:
+//
+//   - Incremental (Algorithm 3): greedily commits the most influential
+//     candidate edges one at a time — fastest, possibly larger
+//     explanations;
+//   - Powerset (Algorithm 4): examines candidate combinations in
+//     ascending size order — favors minimal explanations;
+//   - Exhaustive Comparison (Algorithm 5): compares WNI against every
+//     item of the current top-k list via a contribution matrix and a
+//     per-target threshold vector — best success rate.
+//
+// Two baselines from §6.2 complete the set: ExhaustiveDirect (the
+// Exhaustive Comparison without the final CHECK — demonstrably returns
+// false positives) and BruteForce (subset enumeration over the user's
+// past actions — the success-rate and size oracle in Remove mode).
+//
+// Every non-direct strategy verifies its answer with the paper's CHECK
+// step: the candidate edit is applied as a copy-on-write overlay and
+// the recommender is re-run; the edit is an explanation iff the new
+// top-1 equals WNI.
+package emigre
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/rec"
+)
+
+// Mode selects the search space of Definition 4.2.
+type Mode int
+
+const (
+	// Remove searches among the user's existing outgoing edges (past
+	// actions, the set A⁻).
+	Remove Mode = iota
+	// Add searches among non-existing user-to-item edges (suggested
+	// actions, the set A⁺).
+	Add
+	// Combined searches both spaces at once, mixing removals of past
+	// actions with suggested new ones. The paper names this extension
+	// as future work for the "out of scope item" failures of §6.4 that
+	// neither pure mode can answer.
+	Combined
+	// Reweight searches among the user's existing edges for weight
+	// increases ("You should have rated book A with 5 stars") — the
+	// second future-work extension named in §7.
+	Reweight
+)
+
+// String returns the lower-case mode name.
+func (m Mode) String() string {
+	switch m {
+	case Remove:
+		return "remove"
+	case Add:
+		return "add"
+	case Combined:
+		return "combined"
+	case Reweight:
+		return "reweight"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Method selects the explanation strategy.
+type Method int
+
+const (
+	// Incremental is the runtime-optimized heuristic (Algorithm 3).
+	Incremental Method = iota
+	// Powerset is the size-optimized heuristic (Algorithm 4).
+	Powerset
+	// Exhaustive is the Exhaustive Comparison strategy (Algorithm 5).
+	Exhaustive
+	// ExhaustiveDirect is Exhaustive without the CHECK step — a baseline
+	// that may return unverified (possibly wrong) explanations.
+	ExhaustiveDirect
+	// BruteForce enumerates subsets of the user's actions in ascending
+	// size order (Remove mode only).
+	BruteForce
+)
+
+// String returns the method name used in the paper's plots.
+func (m Method) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case Powerset:
+		return "powerset"
+	case Exhaustive:
+		return "exhaustive"
+	case ExhaustiveDirect:
+		return "exhaustive-direct"
+	case BruteForce:
+		return "brute-force"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Errors returned by the explainer.
+var (
+	// ErrNoExplanation is returned when the selected strategy exhausts
+	// its (budgeted) search space without a verified explanation.
+	ErrNoExplanation = errors.New("emigre: no explanation found")
+	// ErrAlreadyTop is returned when the Why-Not item already is the
+	// top-1 recommendation.
+	ErrAlreadyTop = errors.New("emigre: item already is the top recommendation")
+	// ErrNotWhyNotItem is returned when the Why-Not item violates
+	// Definition 4.1 (not an item, or already interacted with).
+	ErrNotWhyNotItem = errors.New("emigre: invalid Why-Not item")
+	// ErrBruteForceAddMode is returned when BruteForce is requested in
+	// Add mode, whose search space the paper deems prohibitive (§6.2).
+	ErrBruteForceAddMode = errors.New("emigre: brute force is only available in Remove mode")
+	// ErrBudgetExhausted wraps ErrNoExplanation when a search budget
+	// (MaxTests, MaxCombinationSize, ...) stopped the search early.
+	ErrBudgetExhausted = errors.New("emigre: search budget exhausted")
+)
+
+// Options configures an Explainer.
+type Options struct {
+	// Mode selects Remove or Add; Method selects the strategy.
+	Mode   Mode
+	Method Method
+
+	// AllowedEdgeTypes is the paper's T_e: the edge types that may
+	// appear in explanations. The zero value allows every type. The
+	// paper's experiments restrict T_e to user-item edges.
+	AllowedEdgeTypes hin.EdgeTypeSet
+
+	// AddEdgeType and AddEdgeWeight describe the hypothetical edges
+	// created in Add mode. AddEdgeWeight defaults to 1.
+	AddEdgeType   hin.EdgeTypeID
+	AddEdgeWeight float64
+
+	// AddTargetTypes restricts the node types reachable by added edges.
+	// Empty means "the recommender's item types".
+	AddTargetTypes []hin.NodeTypeID
+
+	// TopKTargets is |T| for the Exhaustive Comparison: WNI must beat
+	// the current top-K items. Default 10 (the paper's top-10 list).
+	TopKTargets int
+
+	// MaxSearchSpace caps |H|, keeping the highest-contribution
+	// candidates (0 = no cap for Incremental; combination strategies
+	// default to 16 to bound the powerset).
+	MaxSearchSpace int
+
+	// MaxCombinationSize caps the size of candidate combinations for
+	// Powerset, Exhaustive and BruteForce. Default 5.
+	MaxCombinationSize int
+
+	// MaxTests caps the number of CHECK invocations per query.
+	// Default 2000.
+	MaxTests int
+
+	// ReweightTo is the target weight of Reweight-mode explanations
+	// (e.g. the weight of a 5-star rating). Default 1.
+	ReweightTo float64
+
+	// TargetRank relaxes the success criterion of Definition 4.2 from
+	// "WNI becomes the top-1" (the default, 1) to "WNI enters the
+	// top-k". The candidate-selection heuristics still aim at the top;
+	// only the CHECK step and the ErrAlreadyTop validation use the
+	// relaxed rank.
+	TargetRank int
+
+	// DynamicCheck accelerates the CHECK step with the dynamic
+	// forward-push engine (ppr.DynamicForwardPush): instead of
+	// re-running PPR from scratch on every counterfactual overlay, the
+	// push state is repaired locally for the changed user row — the
+	// optimization avenue the paper points at in §5.3 via Zhang,
+	// Lofgren & Goel. Rejections are decided dynamically; passes are
+	// confirmed with one static run, so returned explanations are
+	// exactly as sound as without the option. A rejection may disagree
+	// with the static path on tolerance-level near-ties.
+	DynamicCheck bool
+}
+
+// Defaults used when an Options field is zero.
+const (
+	DefaultTopKTargets        = 10
+	DefaultMaxSearchSpace     = 16
+	DefaultMaxCombinationSize = 5
+	DefaultMaxTests           = 2000
+	DefaultAddEdgeWeight      = 1.0
+	DefaultReweightTo         = 1.0
+)
+
+func (o Options) withDefaults() Options {
+	if o.AddEdgeWeight == 0 {
+		o.AddEdgeWeight = DefaultAddEdgeWeight
+	}
+	if o.TopKTargets == 0 {
+		o.TopKTargets = DefaultTopKTargets
+	}
+	if o.MaxSearchSpace == 0 {
+		o.MaxSearchSpace = DefaultMaxSearchSpace
+	}
+	if o.MaxCombinationSize == 0 {
+		o.MaxCombinationSize = DefaultMaxCombinationSize
+	}
+	if o.MaxTests == 0 {
+		o.MaxTests = DefaultMaxTests
+	}
+	if o.ReweightTo == 0 {
+		o.ReweightTo = DefaultReweightTo
+	}
+	if o.TargetRank == 0 {
+		o.TargetRank = 1
+	}
+	return o
+}
+
+// Query is one Why-Not question: "user User expected item WNI — why is
+// it not the top recommendation?".
+type Query struct {
+	User hin.NodeID
+	WNI  hin.NodeID
+}
+
+// Stats records the work performed while answering one query.
+type Stats struct {
+	// SearchSpace is |H|, the number of candidate edges considered.
+	SearchSpace int
+	// CombosExamined counts candidate combinations inspected (before
+	// threshold filtering).
+	CombosExamined int
+	// Tests counts CHECK invocations (each one is a full PPR run on a
+	// counterfactual overlay).
+	Tests int
+	// Duration is the wall-clock time of the Explain call.
+	Duration time.Duration
+}
+
+// Explanation is a verified Why-Not explanation: applying Edges to the
+// graph (removing them in Remove mode, adding them in Add mode) makes
+// the Why-Not item the top-1 recommendation.
+type Explanation struct {
+	Query  Query
+	Mode   Mode
+	Method Method
+	// Group carries the full Why-Not set for group-granularity queries
+	// (nil for single-item questions). NewTop is then some member of
+	// the group, not necessarily Query.WNI.
+	Group []hin.NodeID
+	// Edges is A*, the user-rooted edge set of Definition 4.2 — the
+	// union of Removals and Additions.
+	Edges []hin.Edge
+	// Removals are the past actions to undo (all of Edges in Remove
+	// mode; empty in Add mode).
+	Removals []hin.Edge
+	// Additions are the suggested new actions (all of Edges in Add
+	// mode; empty in Remove mode).
+	Additions []hin.Edge
+	// Reweights are existing edges whose Weight field carries the
+	// counterfactual new weight (Reweight mode only).
+	Reweights []hin.Edge
+	// Verified reports whether the CHECK step confirmed the explanation.
+	// It is false only for ExhaustiveDirect results.
+	Verified bool
+	// NewTop is the top-1 recommendation after applying Edges (equal to
+	// Query.WNI when Verified).
+	NewTop hin.NodeID
+	// OldTop is the recommendation the explanation displaces.
+	OldTop hin.NodeID
+	// TargetRank echoes the success criterion the explanation was
+	// verified against (1 = top-1).
+	TargetRank int
+	Stats      Stats
+}
+
+// Size returns the number of edges in the explanation.
+func (e *Explanation) Size() int { return len(e.Edges) }
+
+// Describe renders the explanation as the natural-language reading used
+// in the paper's Figure 1, resolving node labels through g.
+func (e *Explanation) Describe(g *hin.Graph) string {
+	name := func(v hin.NodeID) string {
+		if l := g.Label(v); l != "" {
+			return l
+		}
+		return fmt.Sprintf("node %d", v)
+	}
+	names := func(edges []hin.Edge) string {
+		var items []string
+		for _, edge := range edges {
+			items = append(items, name(edge.To))
+		}
+		return strings.Join(items, " and ")
+	}
+	goal := fmt.Sprintf("your top recommendation would be %s", name(e.Query.WNI))
+	if e.TargetRank > 1 {
+		goal = fmt.Sprintf("%s would be among your top %d recommendations", name(e.Query.WNI), e.TargetRank)
+	}
+	switch {
+	case len(e.Reweights) > 0:
+		var items []string
+		for _, edge := range e.Reweights {
+			items = append(items, fmt.Sprintf("%s at weight %g", name(edge.To), edge.Weight))
+		}
+		return fmt.Sprintf("Had you rated %s, %s.", strings.Join(items, " and "), goal)
+	case len(e.Removals) > 0 && len(e.Additions) > 0:
+		return fmt.Sprintf("Had you not interacted with %s but interacted with %s, %s.",
+			names(e.Removals), names(e.Additions), goal)
+	case e.Mode == Remove || len(e.Removals) > 0:
+		edges := e.Removals
+		if len(edges) == 0 {
+			edges = e.Edges
+		}
+		return fmt.Sprintf("Had you not interacted with %s, %s.", names(edges), goal)
+	default:
+		edges := e.Additions
+		if len(edges) == 0 {
+			edges = e.Edges
+		}
+		return fmt.Sprintf("Had you interacted with %s, %s.", names(edges), goal)
+	}
+}
+
+// Explainer answers Why-Not queries over a fixed graph and recommender.
+type Explainer struct {
+	g    *hin.Graph
+	r    *rec.Recommender
+	opts Options
+	rev  *ppr.ReversePush
+}
+
+// New builds an explainer. The recommender must have been built over g
+// (or over a view of it); opts.Mode/Method select the default strategy
+// used by Explain.
+func New(g *hin.Graph, r *rec.Recommender, opts Options) *Explainer {
+	o := opts.withDefaults()
+	return &Explainer{
+		g:    g,
+		r:    r,
+		opts: o,
+		rev:  ppr.NewReversePush(r.Config().PPR),
+	}
+}
+
+// Options returns the explainer's effective options (defaults applied).
+func (e *Explainer) Options() Options { return e.opts }
+
+// Explain answers the query with the explainer's configured mode and
+// method.
+func (e *Explainer) Explain(q Query) (*Explanation, error) {
+	return e.ExplainWith(q, e.opts.Mode, e.opts.Method)
+}
+
+// ExplainWith answers the query with an explicit mode and method,
+// overriding the configured defaults.
+func (e *Explainer) ExplainWith(q Query, mode Mode, method Method) (*Explanation, error) {
+	return e.explain(q, nil, mode, method)
+}
+
+// explain runs one attempt. accept, when non-nil, widens the success
+// criterion of the CHECK step to "the new top-1 is any member of
+// accept" — the group-granularity semantics of ExplainGroup.
+func (e *Explainer) explain(q Query, accept map[hin.NodeID]bool, mode Mode, method Method) (*Explanation, error) {
+	start := time.Now()
+	s, err := e.newSession(q, mode)
+	if err != nil {
+		return nil, err
+	}
+	s.accept = accept
+	var expl *Explanation
+	switch method {
+	case Incremental:
+		expl, err = s.incremental()
+	case Powerset:
+		expl, err = s.powerset()
+	case Exhaustive:
+		expl, err = s.exhaustive(true)
+	case ExhaustiveDirect:
+		expl, err = s.exhaustive(false)
+	case BruteForce:
+		if mode != Remove {
+			return nil, ErrBruteForceAddMode
+		}
+		expl, err = s.bruteForce()
+	default:
+		return nil, fmt.Errorf("emigre: unknown method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	expl.Query = q
+	expl.Mode = mode
+	expl.Method = method
+	expl.OldTop = s.rec
+	expl.TargetRank = e.opts.TargetRank
+	expl.Stats = s.stats
+	expl.Stats.Duration = time.Since(start)
+	return expl, nil
+}
+
+// CurrentRecommendation returns the top-1 recommendation EMiGRe
+// explains against.
+func (e *Explainer) CurrentRecommendation(u hin.NodeID) (hin.NodeID, error) {
+	return e.r.Recommend(u)
+}
+
+// Verify re-runs the CHECK step for an explanation: it applies the
+// edges to a fresh overlay and reports whether the Why-Not item becomes
+// the top-1 recommendation. It is used by the evaluation harness to
+// audit ExhaustiveDirect results.
+func (e *Explainer) Verify(expl *Explanation) (bool, error) {
+	s, err := e.newSession(expl.Query, expl.Mode)
+	if err != nil {
+		return false, err
+	}
+	var cands []candidate
+	for _, edge := range expl.Removals {
+		cands = append(cands, candidate{edge: edge, op: Remove})
+	}
+	for _, edge := range expl.Additions {
+		cands = append(cands, candidate{edge: edge, op: Add})
+	}
+	for _, edge := range expl.Reweights {
+		cands = append(cands, candidate{edge: edge, op: Reweight})
+	}
+	if len(cands) == 0 {
+		// Explanations built outside the package may only fill Edges;
+		// fall back to the explanation's mode.
+		for _, edge := range expl.Edges {
+			cands = append(cands, candidate{edge: edge, op: expl.Mode})
+		}
+	}
+	ok, _, err := s.check(cands)
+	return ok, err
+}
+
+// session carries the per-query state shared by the strategies.
+type session struct {
+	ex    *Explainer
+	q     Query
+	mode  Mode
+	rec   hin.NodeID // current top-1 recommendation
+	view  hin.View   // the β-mixed transition view scores are taken on
+	toRec ppr.Vector // PPR(·, rec)
+	toWNI ppr.Vector // PPR(·, WNI)
+	cands []candidate
+	tau   float64
+	stats Stats
+	// accept optionally widens the CHECK success criterion to a set of
+	// items (group-granularity queries); nil means {WNI}.
+	accept map[hin.NodeID]bool
+	// dyn is the lazily created dynamic-push state used when
+	// Options.DynamicCheck is set.
+	dyn *ppr.DynamicForwardPush
+}
+
+// candidate is one entry of the paper's list H: an edge that could be
+// removed from (or added to) the user's neighborhood, with its relative
+// contribution (Eq. 5 / Eq. 6). op is Remove or Add per candidate so
+// the Combined mode can mix both kinds in one list.
+type candidate struct {
+	edge         hin.Edge
+	op           Mode
+	contribution float64
+	// transDelta is the estimated transition-probability change of a
+	// Reweight candidate (unused for other ops).
+	transDelta float64
+}
+
+func (e *Explainer) newSession(q Query, mode Mode) (*session, error) {
+	if q.User < 0 || int(q.User) >= e.g.NumNodes() || q.WNI < 0 || int(q.WNI) >= e.g.NumNodes() {
+		return nil, fmt.Errorf("%w: node out of range", ErrNotWhyNotItem)
+	}
+	if !e.r.IsCandidate(q.User, q.WNI) {
+		return nil, fmt.Errorf("%w: node %d is not a recommendable item for user %d (Definition 4.1 requires an item the user has not interacted with)",
+			ErrNotWhyNotItem, q.WNI, q.User)
+	}
+	current, err := e.r.Recommend(q.User)
+	if err != nil {
+		return nil, err
+	}
+	if current == q.WNI {
+		return nil, fmt.Errorf("%w: item %d", ErrAlreadyTop, q.WNI)
+	}
+	if k := e.opts.TargetRank; k > 1 {
+		rank, err := e.r.RankOf(q.User, q.WNI)
+		if err != nil {
+			return nil, err
+		}
+		if rank <= k {
+			return nil, fmt.Errorf("%w: item %d already at rank %d ≤ target %d", ErrAlreadyTop, q.WNI, rank, k)
+		}
+	}
+	s := &session{ex: e, q: q, mode: mode, rec: current, view: e.r.Flat()}
+	s.toRec, err = e.rev.ToTarget(s.view, current)
+	if err != nil {
+		return nil, err
+	}
+	s.toWNI, err = e.rev.ToTarget(s.view, q.WNI)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.defineSearchSpace(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// splitOps partitions a candidate selection into removal, addition and
+// reweight edge lists according to each candidate's op.
+func splitOps(cands []candidate) (removals, additions, reweights []hin.Edge) {
+	for _, c := range cands {
+		switch c.op {
+		case Add:
+			additions = append(additions, c.edge)
+		case Reweight:
+			reweights = append(reweights, c.edge)
+		default:
+			removals = append(removals, c.edge)
+		}
+	}
+	return removals, additions, reweights
+}
+
+// check is the paper's CHECK/TEST step: apply the candidate selection
+// as an overlay and re-run the recommender. It reports whether WNI
+// became the top-1 recommendation, and what the new top-1 is.
+func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
+	if s.stats.Tests >= s.ex.opts.MaxTests {
+		return false, hin.InvalidNode, fmt.Errorf("%w: %d CHECK invocations", ErrBudgetExhausted, s.stats.Tests)
+	}
+	s.stats.Tests++
+	removals, additions, reweights := splitOps(cands)
+	// A reweight is expressed as removing the typed edge and re-adding
+	// it with the counterfactual weight.
+	removals = append(removals, reweights...)
+	additions = append(additions, reweights...)
+	o, err := hin.NewOverlay(s.ex.g, removals, additions)
+	if err != nil {
+		return false, hin.InvalidNode, fmt.Errorf("emigre: building counterfactual overlay: %w", err)
+	}
+	// Counterfactuals only touch the user's outgoing row, so the
+	// recommender can score over a one-row patch of its flat snapshot
+	// instead of re-flattening the overlay.
+	r2 := s.ex.r.WithUserPatch(o, s.q.User)
+	if s.ex.opts.DynamicCheck {
+		ok, _, err := s.dynamicCheck(r2)
+		if err != nil {
+			return false, hin.InvalidNode, err
+		}
+		if !ok {
+			// Fast rejection: the overwhelming majority of CHECK calls
+			// end here, each for the price of a local push repair.
+			return false, hin.InvalidNode, nil
+		}
+		// A dynamic PASS is confirmed with one static run so returned
+		// explanations stay sound even on tolerance-level near-ties.
+	}
+	k := s.ex.opts.TargetRank
+	list, err := r2.TopN(s.q.User, k)
+	if err != nil {
+		if errors.Is(err, rec.ErrNoCandidates) {
+			return false, hin.InvalidNode, nil
+		}
+		return false, hin.InvalidNode, err
+	}
+	for _, sc := range list {
+		if s.accepted(sc.Node) {
+			return true, list[0].Node, nil
+		}
+	}
+	return false, list[0].Node, nil
+}
+
+// accepted reports whether a counterfactual list entry satisfies the
+// query: it equals WNI, or falls in the group accept set.
+func (s *session) accepted(top hin.NodeID) bool {
+	return top == s.q.WNI || (s.accept != nil && s.accept[top])
+}
+
+// dynamicCheck evaluates the counterfactual with the maintained
+// dynamic-push state instead of a fresh PPR run. Successive
+// counterfactuals all differ from each other only in the user's
+// outgoing row, which is exactly the update shape
+// ppr.DynamicForwardPush repairs locally.
+func (s *session) dynamicCheck(r2 *rec.Recommender) (bool, hin.NodeID, error) {
+	view := r2.ScoringView()
+	if s.dyn == nil {
+		var err error
+		s.dyn, err = ppr.NewDynamicForwardPush(s.ex.r.Config().PPR, s.ex.r.View(), s.q.User)
+		if err != nil {
+			return false, hin.InvalidNode, err
+		}
+	}
+	if err := s.dyn.Update(view, s.q.User); err != nil {
+		return false, hin.InvalidNode, err
+	}
+	est := s.dyn.Estimates()
+	top := hin.InvalidNode
+	best := 0.0
+	for v := range est {
+		id := hin.NodeID(v)
+		if !r2.IsCandidate(s.q.User, id) {
+			continue
+		}
+		if top == hin.InvalidNode || est[v] > best || (est[v] == best && id < top) {
+			top = id
+			best = est[v]
+		}
+	}
+	if top == hin.InvalidNode {
+		return false, hin.InvalidNode, nil
+	}
+	if k := s.ex.opts.TargetRank; k > 1 {
+		return s.dynamicRankAccepted(r2, est, k), top, nil
+	}
+	return s.accepted(top), top, nil
+}
+
+// dynamicRankAccepted reports whether any accepted item sits within the
+// top-k of the dynamic estimates.
+func (s *session) dynamicRankAccepted(r2 *rec.Recommender, est ppr.Vector, k int) bool {
+	targets := []hin.NodeID{s.q.WNI}
+	for a := range s.accept {
+		if a != s.q.WNI {
+			targets = append(targets, a)
+		}
+	}
+	for _, a := range targets {
+		if !r2.IsCandidate(s.q.User, a) {
+			continue
+		}
+		better := 0
+		sa := est[a]
+		for v := range est {
+			id := hin.NodeID(v)
+			if id == a || !r2.IsCandidate(s.q.User, id) {
+				continue
+			}
+			if est[v] > sa || (est[v] == sa && id < a) {
+				better++
+				if better >= k {
+					break
+				}
+			}
+		}
+		if better < k {
+			return true
+		}
+	}
+	return false
+}
+
+// gapFlipped reports whether a running gap estimate has crossed zero,
+// with a relative tolerance so that floating-point residue from
+// summation order (τ − Σc can land at ±1e-20 when every candidate is
+// committed) does not suppress the CHECK step.
+func (s *session) gapFlipped(tau float64) bool {
+	return tau <= 1e-12*(1+math.Abs(s.tau))
+}
+
+func (s *session) found(cands []candidate, verified bool, newTop hin.NodeID) *Explanation {
+	removals, additions, reweights := splitOps(cands)
+	edges := make([]hin.Edge, 0, len(cands))
+	edges = append(edges, removals...)
+	edges = append(edges, additions...)
+	edges = append(edges, reweights...)
+	return &Explanation{
+		Edges:     edges,
+		Removals:  removals,
+		Additions: additions,
+		Reweights: reweights,
+		Verified:  verified,
+		NewTop:    newTop,
+	}
+}

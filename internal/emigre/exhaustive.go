@@ -1,0 +1,236 @@
+package emigre
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/ppr"
+)
+
+// exhaustive implements the Exhaustive Comparison of Algorithm 5: where
+// the top-1 strategies only compare WNI against the displaced
+// recommendation, this strategy requires WNI to beat *every* item t of
+// the current top-k list. It builds
+//
+//   - the contribution matrix C with one row per candidate and one
+//     column per target t (Table 1 of the running example),
+//   - the threshold vector Threshold(t) = Σ_{n∈Nout} C_{n,t} (Eq. 7,
+//     Table 2) — the current gap of target t over WNI,
+//
+// and keeps every candidate combination whose summed row strictly
+// dominates the threshold vector (Table 3). Surviving combinations are
+// examined in ascending size order; with withCheck, each is verified by
+// CHECK before being returned (the paper's remove_ex / add_ex); without
+// it, the first surviving combination is returned unverified (the
+// remove_ex_direct baseline, whose measured ~33% success-rate drop
+// motivates the CHECK step).
+//
+// Unlike Algorithms 3-4, no sign-based pruning is applied to H: a
+// candidate that slightly hurts WNI against rec may still be needed to
+// pull down a third item (§5.2.2). H is capped at MaxSearchSpace by
+// absolute contribution to bound the combination sweep.
+func (s *session) exhaustive(withCheck bool) (*Explanation, error) {
+	opts := s.ex.opts
+
+	targets, err := s.exhaustiveTargets()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := s.targetColumns(targets)
+	if err != nil {
+		return nil, err
+	}
+
+	h := s.exhaustiveCandidates()
+	if len(h) == 0 {
+		return nil, fmt.Errorf("%w (exhaustive, %s mode: empty search space)", ErrNoExplanation, s.mode)
+	}
+
+	// reduction[i][k]: how much committing candidate i closes the gap of
+	// target k over WNI. threshold[k]: the current gap of target k.
+	trans := transitionsOf(s.view, s.q.User)
+	reduction := make([][]float64, len(h))
+	for i, cand := range h {
+		row := make([]float64, len(targets))
+		n := cand.edge.To
+		for k := range targets {
+			switch cand.op {
+			case Remove:
+				row[k] = trans[edgeKey{n, cand.edge.Type}] * (cols[k][n] - s.toWNI[n])
+			case Reweight:
+				row[k] = cand.transDelta * (s.toWNI[n] - cols[k][n])
+			default: // Add
+				row[k] = s.toWNI[n] - cols[k][n]
+			}
+		}
+		reduction[i] = row
+	}
+	threshold := make([]float64, len(targets))
+	for _, e := range s.ex.g.OutEdgesOfType(s.q.User, opts.AllowedEdgeTypes) {
+		w := trans[edgeKey{e.To, e.Type}]
+		for k := range targets {
+			threshold[k] += w * (cols[k][e.To] - s.toWNI[e.To])
+		}
+	}
+
+	maxSize := opts.MaxCombinationSize
+	if maxSize > len(h) {
+		maxSize = len(h)
+	}
+	budgetHit := false
+	type survivor struct {
+		idx    []int
+		margin float64 // worst-coordinate slack, for ordering
+	}
+	// With the default TargetRank of 1 a combination must dominate every
+	// target; placing WNI at rank k only requires beating all but k−1
+	// of them, so up to k−1 negative-slack columns are tolerated.
+	allowedMisses := s.ex.opts.TargetRank - 1
+	for size := 1; size <= maxSize; size++ {
+		var survivors []survivor
+		combinations(len(h), size, func(idx []int) bool {
+			s.stats.CombosExamined++
+			misses := 0
+			worst := math.Inf(1)
+			for k := range targets {
+				// Connecting the user to target t evicts t from the
+				// candidate set of Eq. 2 — WNI no longer needs to beat
+				// it, so skip its column (paper erratum; Alg. 5 does
+				// not handle self-targets).
+				if comboContainsAddedEndpoint(h, idx, targets[k]) {
+					continue
+				}
+				var sum float64
+				for _, i := range idx {
+					sum += reduction[i][k]
+				}
+				slack := sum - threshold[k]
+				// The paper requires strictly positive slack; we accept
+				// slack == 0 too (an estimated tie) because the CHECK
+				// step resolves it exactly — this covers the degenerate
+				// combination that removes every allowed edge, whose
+				// slack is identically zero.
+				if slack < 0 {
+					misses++
+					if misses > allowedMisses {
+						return true // fails the domination filter
+					}
+					continue
+				}
+				if slack < worst {
+					worst = slack
+				}
+			}
+			survivors = append(survivors, survivor{idx: append([]int(nil), idx...), margin: worst})
+			return true
+		})
+		sort.Slice(survivors, func(i, j int) bool {
+			if survivors[i].margin != survivors[j].margin {
+				return survivors[i].margin > survivors[j].margin
+			}
+			return lexLess(survivors[i].idx, survivors[j].idx)
+		})
+		for _, sv := range survivors {
+			selected := make([]candidate, len(sv.idx))
+			for i, j := range sv.idx {
+				selected[i] = h[j]
+			}
+			if !withCheck {
+				// Direct baseline: trust the threshold filter.
+				return s.found(selected, false, hin.InvalidNode), nil
+			}
+			ok, top, err := s.check(selected)
+			if err != nil {
+				if errors.Is(err, ErrBudgetExhausted) {
+					budgetHit = true
+					break
+				}
+				return nil, err
+			}
+			if ok {
+				return s.found(selected, true, top), nil
+			}
+		}
+		if budgetHit {
+			break
+		}
+	}
+	err = fmt.Errorf("%w (exhaustive, %s mode: |H|=%d, |T|=%d, %d combos, %d checks)",
+		ErrNoExplanation, s.mode, len(h), len(targets), s.stats.CombosExamined, s.stats.Tests)
+	if budgetHit {
+		err = errors.Join(err, ErrBudgetExhausted)
+	}
+	return nil, err
+}
+
+// comboContainsAddedEndpoint reports whether any Add-op candidate in
+// the index combination points at node t.
+func comboContainsAddedEndpoint(h []candidate, idx []int, t hin.NodeID) bool {
+	for _, i := range idx {
+		if h[i].op == Add && h[i].edge.To == t {
+			return true
+		}
+	}
+	return false
+}
+
+// exhaustiveTargets returns T: the current top-K candidate items
+// excluding WNI (the paper's recommendation list with the Why-Not item
+// removed, as in the running example).
+func (s *session) exhaustiveTargets() ([]hin.NodeID, error) {
+	top, err := s.ex.r.TopN(s.q.User, s.ex.opts.TopKTargets+1)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]hin.NodeID, 0, s.ex.opts.TopKTargets)
+	for _, sc := range top {
+		if sc.Node == s.q.WNI {
+			continue
+		}
+		targets = append(targets, sc.Node)
+		if len(targets) == s.ex.opts.TopKTargets {
+			break
+		}
+	}
+	return targets, nil
+}
+
+// targetColumns computes PPR(·, t) for every target, reusing the
+// session's cached column for the current recommendation.
+func (s *session) targetColumns(targets []hin.NodeID) ([]ppr.Vector, error) {
+	cols := make([]ppr.Vector, len(targets))
+	for k, t := range targets {
+		if t == s.rec {
+			cols[k] = s.toRec
+			continue
+		}
+		col, err := s.ex.rev.ToTarget(s.view, t)
+		if err != nil {
+			return nil, err
+		}
+		cols[k] = col
+	}
+	return cols, nil
+}
+
+// exhaustiveCandidates returns H without sign pruning, capped at
+// MaxSearchSpace by absolute contribution.
+func (s *session) exhaustiveCandidates() []candidate {
+	h := append([]candidate(nil), s.cands...)
+	limit := s.ex.opts.MaxSearchSpace
+	if limit > 0 && len(h) > limit {
+		sort.Slice(h, func(i, j int) bool {
+			ai, aj := math.Abs(h[i].contribution), math.Abs(h[j].contribution)
+			if ai != aj {
+				return ai > aj
+			}
+			return h[i].edge.To < h[j].edge.To
+		})
+		h = h[:limit]
+		sortCandidates(h)
+	}
+	return h
+}

@@ -1,0 +1,134 @@
+package emigre
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// GroupQuery is a Why-Not question at the set granularity of §4:
+// "why is none of these items recommended?". The paper defines the
+// single-item question and names sets and whole categories as future
+// granularities; this implementation covers both (see ExplainCategory).
+type GroupQuery struct {
+	User hin.NodeID
+	// Items is the Why-Not set. Items the user already interacted with
+	// and non-item nodes are rejected, mirroring Definition 4.1.
+	Items []hin.NodeID
+}
+
+// ErrEmptyGroup is returned when a group query has no valid Why-Not
+// item left after Definition-4.1 filtering.
+var ErrEmptyGroup = errors.New("emigre: group query has no valid Why-Not item")
+
+// ExplainGroup answers a set-granularity Why-Not question: it returns
+// an edge set whose application makes *some* member of the group the
+// top-1 recommendation. Members are attempted in descending current
+// score (the closest one first); each attempt runs the selected mode
+// and method with the group as the success criterion — an attempt
+// seeded on one member may legitimately end up promoting another, and
+// that counts as success.
+func (e *Explainer) ExplainGroup(q GroupQuery, mode Mode, method Method) (*Explanation, error) {
+	members, err := e.validGroupMembers(q)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[hin.NodeID]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	var firstErr error
+	for _, m := range members {
+		expl, err := e.explain(Query{User: q.User, WNI: m}, set, mode, method)
+		if err == nil {
+			expl.Group = members
+			return expl, nil
+		}
+		if errors.Is(err, ErrAlreadyTop) {
+			// Another member already tops the list — by the group
+			// semantics the question is void.
+			return nil, err
+		}
+		if !errors.Is(err, ErrNoExplanation) {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("%w (group of %d items)", errors.Join(ErrNoExplanation, firstErr), len(members))
+}
+
+// ExplainCategory answers the category granularity: "why is nothing
+// from this category recommended?". The category node's item neighbors
+// become the Why-Not group, capped to the maxItems best-scoring ones
+// (0 = no cap) to bound the attempts.
+func (e *Explainer) ExplainCategory(user, category hin.NodeID, maxItems int, mode Mode, method Method) (*Explanation, error) {
+	if category < 0 || int(category) >= e.g.NumNodes() {
+		return nil, fmt.Errorf("%w: category node %d out of range", ErrNotWhyNotItem, category)
+	}
+	var items []hin.NodeID
+	seen := make(map[hin.NodeID]bool)
+	collect := func(h hin.HalfEdge) bool {
+		if !seen[h.Node] && e.r.IsItem(h.Node) {
+			seen[h.Node] = true
+			items = append(items, h.Node)
+		}
+		return true
+	}
+	e.g.OutEdges(category, collect)
+	e.g.InEdges(category, collect)
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%w: node %d has no item neighbors (is it a category?)", ErrEmptyGroup, category)
+	}
+	q := GroupQuery{User: user, Items: items}
+	members, err := e.validGroupMembers(q)
+	if err != nil {
+		return nil, err
+	}
+	if maxItems > 0 && len(members) > maxItems {
+		members = members[:maxItems] // validGroupMembers sorts by score
+	}
+	return e.ExplainGroup(GroupQuery{User: user, Items: members}, mode, method)
+}
+
+// validGroupMembers filters the group per Definition 4.1 and orders it
+// by descending current score. It returns ErrAlreadyTop when a member
+// already is the recommendation.
+func (e *Explainer) validGroupMembers(q GroupQuery) ([]hin.NodeID, error) {
+	if len(q.Items) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	current, err := e.r.Recommend(q.User)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := e.r.Scores(q.User)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[hin.NodeID]bool, len(q.Items))
+	var members []hin.NodeID
+	for _, m := range q.Items {
+		if m == current {
+			return nil, fmt.Errorf("%w: group member %d", ErrAlreadyTop, m)
+		}
+		if seen[m] || !e.r.IsCandidate(q.User, m) {
+			continue
+		}
+		seen[m] = true
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w (user %d)", ErrEmptyGroup, q.User)
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if scores[members[i]] != scores[members[j]] {
+			return scores[members[i]] > scores[members[j]]
+		}
+		return members[i] < members[j]
+	})
+	return members, nil
+}

@@ -1,0 +1,40 @@
+package emigre
+
+import (
+	"errors"
+	"fmt"
+)
+
+// incremental implements Algorithm 3: commit candidate edges one at a
+// time in descending contribution order, and once the running gap
+// estimate tau flips sign, verify after every further commit. The first
+// verified edge set is returned. Incremental trades explanation size
+// for speed: it never reconsiders a committed edge.
+func (s *session) incremental() (*Explanation, error) {
+	var selected []candidate
+	tau := s.tau
+	for _, cand := range s.cands {
+		// Negative contributions cannot help WNI (Eq. 5/6 discussion);
+		// the list is sorted, so everything after is non-positive too.
+		if cand.contribution <= 0 {
+			break
+		}
+		selected = append(selected, cand)
+		tau -= cand.contribution
+		if !s.gapFlipped(tau) {
+			continue // rec still estimated to dominate: keep accumulating
+		}
+		ok, top, err := s.check(selected)
+		if err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				return nil, fmt.Errorf("%w (incremental)", errors.Join(ErrNoExplanation, err))
+			}
+			return nil, err
+		}
+		if ok {
+			return s.found(selected, true, top), nil
+		}
+	}
+	return nil, fmt.Errorf("%w (incremental, %s mode: %d candidates, %d checks)",
+		ErrNoExplanation, s.mode, len(s.cands), s.stats.Tests)
+}

@@ -1,0 +1,85 @@
+package emigre
+
+import (
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+func TestOptionsAccessorAndDefaults(t *testing.T) {
+	f := newFixture(t, Options{})
+	opts := f.ex.Options()
+	if opts.TopKTargets != DefaultTopKTargets {
+		t.Fatalf("TopKTargets = %d, want default %d", opts.TopKTargets, DefaultTopKTargets)
+	}
+	if opts.MaxSearchSpace != DefaultMaxSearchSpace ||
+		opts.MaxCombinationSize != DefaultMaxCombinationSize ||
+		opts.MaxTests != DefaultMaxTests ||
+		opts.AddEdgeWeight != DefaultAddEdgeWeight ||
+		opts.ReweightTo != DefaultReweightTo ||
+		opts.TargetRank != 1 {
+		t.Fatalf("defaults not applied: %+v", opts)
+	}
+}
+
+func TestExhaustiveCandidateCap(t *testing.T) {
+	// Give the explainer a tiny MaxSearchSpace and an add-mode search
+	// space larger than it; the exhaustive candidate list must be capped
+	// to the strongest |contribution| entries and stay sorted.
+	f := newFixture(t, Options{MaxSearchSpace: 2})
+	s, err := f.ex.newSession(f.query(), Add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.cands) <= 2 {
+		t.Skipf("fixture add search space too small (%d)", len(s.cands))
+	}
+	h := s.exhaustiveCandidates()
+	if len(h) != 2 {
+		t.Fatalf("capped |H| = %d, want 2", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i-1].contribution < h[i].contribution {
+			t.Fatal("capped candidates not re-sorted by contribution")
+		}
+	}
+}
+
+func TestFoundSignalError(t *testing.T) {
+	f := &foundSignal{expl: &Explanation{}}
+	if f.Error() == "" {
+		t.Fatal("foundSignal must render an error string")
+	}
+}
+
+func TestDescribeUnlabeledNodes(t *testing.T) {
+	g := hin.NewGraph()
+	item := g.Types().NodeType("item")
+	user := g.Types().NodeType("user")
+	rated := g.Types().EdgeType("rated")
+	u := g.AddNode(user, "")
+	a := g.AddNode(item, "")
+	b := g.AddNode(item, "")
+	expl := &Explanation{
+		Query:    Query{User: u, WNI: b},
+		Mode:     Remove,
+		Removals: []hin.Edge{{From: u, To: a, Type: rated, Weight: 1}},
+	}
+	text := expl.Describe(g)
+	if text == "" {
+		t.Fatal("empty description")
+	}
+	// Unlabeled nodes render as "node N".
+	if want := "node 1"; !contains(text, want) {
+		t.Fatalf("description %q missing %q", text, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

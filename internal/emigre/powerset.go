@@ -1,0 +1,96 @@
+package emigre
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// powerset implements Algorithm 4: restrict H to positive-contribution
+// candidates, then examine candidate combinations in ascending size
+// order (favoring minimal explanations) and, within a size, in
+// descending total-contribution order (favoring promising ones). A
+// combination whose total contribution flips the gap estimate is
+// verified with CHECK; the first verified combination is returned.
+//
+// |H| is capped at Options.MaxSearchSpace (keeping the strongest
+// candidates) and combination sizes at Options.MaxCombinationSize, so
+// the powerset never degenerates into the full 2^|H| sweep the paper's
+// complexity analysis warns about (§5.3).
+func (s *session) powerset() (*Explanation, error) {
+	h := s.positiveCandidates(s.ex.opts.MaxSearchSpace)
+	if len(h) == 0 {
+		return nil, fmt.Errorf("%w (powerset, %s mode: no positive-contribution candidates)",
+			ErrNoExplanation, s.mode)
+	}
+	maxSize := s.ex.opts.MaxCombinationSize
+	if maxSize > len(h) {
+		maxSize = len(h)
+	}
+	budgetHit := false
+	type combo struct {
+		idx   []int
+		total float64
+	}
+	for size := 1; size <= maxSize; size++ {
+		combos := make([]combo, 0, binomial(len(h), size))
+		combinations(len(h), size, func(idx []int) bool {
+			var total float64
+			for _, i := range idx {
+				total += h[i].contribution
+			}
+			combos = append(combos, combo{idx: append([]int(nil), idx...), total: total})
+			return true
+		})
+		sort.Slice(combos, func(i, j int) bool {
+			if combos[i].total != combos[j].total {
+				return combos[i].total > combos[j].total
+			}
+			return lexLess(combos[i].idx, combos[j].idx)
+		})
+		for _, cb := range combos {
+			s.stats.CombosExamined++
+			if !s.gapFlipped(s.tau - cb.total) {
+				// This and all later combos of this size cannot flip the
+				// estimated gap; move on to the next size.
+				break
+			}
+			selected := make([]candidate, len(cb.idx))
+			for i, j := range cb.idx {
+				selected[i] = h[j]
+			}
+			ok, top, err := s.check(selected)
+			if err != nil {
+				if errors.Is(err, ErrBudgetExhausted) {
+					budgetHit = true
+					break
+				}
+				return nil, err
+			}
+			if ok {
+				return s.found(selected, true, top), nil
+			}
+		}
+		if budgetHit {
+			break
+		}
+	}
+	err := fmt.Errorf("%w (powerset, %s mode: |H|=%d, %d combos, %d checks)",
+		ErrNoExplanation, s.mode, len(h), s.stats.CombosExamined, s.stats.Tests)
+	if budgetHit {
+		err = errors.Join(err, ErrBudgetExhausted)
+	}
+	return nil, err
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

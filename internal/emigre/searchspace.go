@@ -1,0 +1,191 @@
+package emigre
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// transitionTable maps each of u's outgoing typed edges to its
+// transition probability under the recommender's (β-mixed) view.
+type transitionTable map[edgeKey]float64
+
+type edgeKey struct {
+	to  hin.NodeID
+	typ hin.EdgeTypeID
+}
+
+func transitionsOf(view hin.View, u hin.NodeID) transitionTable {
+	total := view.OutWeightSum(u)
+	t := make(transitionTable)
+	if total <= 0 {
+		return t
+	}
+	view.OutEdges(u, func(h hin.HalfEdge) bool {
+		t[edgeKey{h.Node, h.Type}] += h.Weight / total
+		return true
+	})
+	return t
+}
+
+// defineSearchSpace runs Algorithm 1 (Remove mode) or Algorithm 2 (Add
+// mode): it fills s.cands — the paper's contribution-ordered list H —
+// and s.tau, the gap estimate between rec and WNI.
+//
+// Sign convention (see DESIGN.md §3.2): tau is the sum of
+// contribution_rmv over the user's allowed existing edges, positive
+// while rec dominates WNI; committing a candidate subtracts its
+// contribution, and the CHECK step fires once the running tau is ≤ 0.
+func (s *session) defineSearchSpace() error {
+	u := s.q.User
+	allowed := s.ex.opts.AllowedEdgeTypes
+	trans := transitionsOf(s.view, u)
+
+	// tau: Σ contribution_rmv over the allowed existing edges (Eq. 5).
+	// Both modes start from the same gap estimate (Algorithm 2 lines
+	// 4-7 repeat the Algorithm 1 loop).
+	s.tau = 0
+	var removeCands []candidate
+	for _, e := range s.ex.g.OutEdgesOfType(u, allowed) {
+		w := trans[edgeKey{e.To, e.Type}]
+		c := w * (s.toRec[e.To] - s.toWNI[e.To])
+		s.tau += c
+		removeCands = append(removeCands, candidate{edge: e, op: Remove, contribution: c})
+	}
+
+	switch s.mode {
+	case Remove:
+		s.cands = removeCands
+	case Add:
+		s.cands = s.addCandidates()
+	case Combined:
+		// The future-work extension of §6.4: both search spaces merged.
+		// Contributions of the two kinds live on slightly different
+		// scales (Eq. 5 carries the transition weight, Eq. 6 does not);
+		// the CHECK step corrects any resulting mis-ordering exactly as
+		// it does within a single mode.
+		s.cands = append(removeCands, s.addCandidates()...)
+	case Reweight:
+		s.cands = s.reweightCandidates()
+	default:
+		return fmt.Errorf("emigre: unknown mode %v", s.mode)
+	}
+	sortCandidates(s.cands)
+	s.stats.SearchSpace = len(s.cands)
+	return nil
+}
+
+// addCandidates implements the candidate discovery of Algorithm 2: the
+// Reverse Local Push run from WNI (already available as s.toWNI)
+// surfaces every node x with non-negligible PPR(x, WNI); each such node
+// of an allowed target type that the user is not yet connected to
+// becomes a hypothetical edge (u, x) with contribution Eq. 6:
+//
+//	contribution_add(x) = PPR(x, WNI) − PPR(x, rec)
+//
+// (no W factor: the edge does not exist yet, so it has no weight).
+func (s *session) addCandidates() []candidate {
+	u := s.q.User
+	opts := s.ex.opts
+	targetOK := s.targetTypeMask()
+	var cands []candidate
+	for x := range s.toWNI {
+		id := hin.NodeID(x)
+		if s.toWNI[x] <= 0 || id == u || id == s.q.WNI {
+			continue
+		}
+		if !targetOK[s.ex.g.NodeType(id)] {
+			continue
+		}
+		if s.ex.g.HasEdge(u, id) {
+			continue
+		}
+		cands = append(cands, candidate{
+			edge:         hin.Edge{From: u, To: id, Type: opts.AddEdgeType, Weight: opts.AddEdgeWeight},
+			op:           Add,
+			contribution: s.toWNI[x] - s.toRec[x],
+		})
+	}
+	return cands
+}
+
+// reweightCandidates builds the Reweight search space (the "You should
+// have rated book A with 5 stars" extension of §7): every allowed
+// existing edge whose weight lies below Options.ReweightTo becomes a
+// candidate carrying the counterfactual weight. Raising the weight of
+// the edge to n shifts roughly ΔW = (w′−w)/Σw of the user's transition
+// mass onto n, so the first-order contribution toward WNI is
+//
+//	contribution = ΔW · (PPR(n, WNI) − PPR(n, rec))
+func (s *session) reweightCandidates() []candidate {
+	u := s.q.User
+	opts := s.ex.opts
+	total := s.ex.g.OutWeightSum(u)
+	if total <= 0 {
+		return nil
+	}
+	var cands []candidate
+	for _, e := range s.ex.g.OutEdgesOfType(u, opts.AllowedEdgeTypes) {
+		if e.Weight >= opts.ReweightTo {
+			continue
+		}
+		delta := (opts.ReweightTo - e.Weight) / total
+		newEdge := e
+		newEdge.Weight = opts.ReweightTo
+		cands = append(cands, candidate{
+			edge:         newEdge,
+			op:           Reweight,
+			transDelta:   delta,
+			contribution: delta * (s.toWNI[e.To] - s.toRec[e.To]),
+		})
+	}
+	return cands
+}
+
+func (s *session) targetTypeMask() []bool {
+	mask := make([]bool, 256)
+	types := s.ex.opts.AddTargetTypes
+	if len(types) == 0 {
+		types = s.ex.r.Config().ItemTypes
+	}
+	for _, t := range types {
+		mask[t] = true
+	}
+	return mask
+}
+
+// sortCandidates orders by descending contribution, breaking ties by
+// (To, Type) for determinism.
+func sortCandidates(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].contribution != cands[j].contribution {
+			return cands[i].contribution > cands[j].contribution
+		}
+		if cands[i].edge.To != cands[j].edge.To {
+			return cands[i].edge.To < cands[j].edge.To
+		}
+		if cands[i].edge.Type != cands[j].edge.Type {
+			return cands[i].edge.Type < cands[j].edge.Type
+		}
+		return cands[i].op < cands[j].op
+	})
+}
+
+// positiveCandidates returns the prefix of s.cands with strictly
+// positive contribution (the pruning step of Algorithms 3 and 4),
+// optionally capped to the top limit entries.
+func (s *session) positiveCandidates(limit int) []candidate {
+	n := 0
+	for _, c := range s.cands {
+		if c.contribution <= 0 {
+			break // sorted descending: the rest are non-positive too
+		}
+		n++
+	}
+	pos := s.cands[:n]
+	if limit > 0 && len(pos) > limit {
+		pos = pos[:limit]
+	}
+	return pos
+}

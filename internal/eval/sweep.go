@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/rec"
+)
+
+// SweepVariant pairs a label with a recommender configuration, for
+// hyper-parameter ablations (α, β, ε — the design choices of §6.1).
+type SweepVariant struct {
+	Label string
+	Rec   rec.Config
+}
+
+// SweepResult is one variant's evaluation outcome.
+type SweepResult struct {
+	Label   string
+	Results *Results
+}
+
+// RunSweep evaluates the same scenario configuration under several
+// recommender configurations. Note that scenarios are re-enumerated
+// per variant — changing α or β changes the recommendation lists, so
+// the Why-Not questions themselves legitimately differ across points.
+func RunSweep(g *hin.Graph, variants []SweepVariant, cfg Config) ([]SweepResult, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("eval: sweep needs at least one variant")
+	}
+	out := make([]SweepResult, 0, len(variants))
+	for _, v := range variants {
+		r, err := rec.New(g, v.Rec)
+		if err != nil {
+			return nil, fmt.Errorf("eval: variant %q: %w", v.Label, err)
+		}
+		res, err := NewRunner(g, r).Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: variant %q: %w", v.Label, err)
+		}
+		out = append(out, SweepResult{Label: v.Label, Results: res})
+	}
+	return out, nil
+}
+
+// RenderSweep prints one success-rate row per (variant, method) pair.
+func RenderSweep(w io.Writer, sweep []SweepResult) error {
+	if _, err := fmt.Fprintln(w, "Hyper-parameter sweep: success rate per variant and method."); err != nil {
+		return err
+	}
+	for _, point := range sweep {
+		for _, st := range point.Results.Stats() {
+			if _, err := fmt.Fprintf(w, " %-16s %-20s %s %6.1f%%  (avg size %.2f, avg time %s)\n",
+				point.Label, st.Method.Name, bar(st.SuccessRate), 100*st.SuccessRate,
+				st.AvgSize, fmtDur(st.AvgTime)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package hin
+
+// Components labels the weakly connected components of a view (treating
+// every directed edge as undirected). It returns one component ID per
+// node (0-based, in order of discovery from the lowest node ID) and the
+// number of components. The dataset pipeline uses it to check that the
+// Lite extraction produced a coherent neighborhood around the sampled
+// users.
+func Components(g View) ([]int, int) {
+	n := g.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []NodeID
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = next
+		stack = append(stack[:0], NodeID(start))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit := func(h HalfEdge) bool {
+				if comp[h.Node] == -1 {
+					comp[h.Node] = next
+					stack = append(stack, h.Node)
+				}
+				return true
+			}
+			g.OutEdges(v, visit)
+			g.InEdges(v, visit)
+		}
+		next++
+	}
+	return comp, next
+}
+
+// ReachableWithin returns the set of nodes reachable from the seeds in
+// at most hops steps over outgoing edges — the neighborhood the
+// paper's Amazon-Lite extraction keeps (§6.1).
+func ReachableWithin(g View, seeds []NodeID, hops int) map[NodeID]bool {
+	keep := make(map[NodeID]bool, len(seeds))
+	frontier := make([]NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.NumNodes() || keep[s] {
+			continue
+		}
+		keep[s] = true
+		frontier = append(frontier, s)
+	}
+	for h := 0; h < hops && len(frontier) > 0; h++ {
+		var next []NodeID
+		for _, v := range frontier {
+			g.OutEdges(v, func(e HalfEdge) bool {
+				if !keep[e.Node] {
+					keep[e.Node] = true
+					next = append(next, e.Node)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	return keep
+}

@@ -1,0 +1,107 @@
+package hin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsTwoIslands(t *testing.T) {
+	g := NewGraph()
+	nt := g.Types().NodeType("n")
+	et := g.Types().EdgeType("e")
+	for i := 0; i < 6; i++ {
+		g.AddNode(nt, "")
+	}
+	// Island 1: 0-1-2, island 2: 3-4, isolated: 5.
+	mustAdd := func(a, b NodeID) {
+		if err := g.AddEdge(a, b, et, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1)
+	mustAdd(1, 2)
+	mustAdd(3, 4)
+	comp, n := Components(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("island 1 split: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Fatalf("island 2 wrong: %v", comp)
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatalf("isolated node merged: %v", comp)
+	}
+}
+
+func TestComponentsDirectionIgnored(t *testing.T) {
+	// A directed chain is one weak component even though node 0 is not
+	// reachable from node 2.
+	g := NewGraph()
+	nt := g.Types().NodeType("n")
+	et := g.Types().EdgeType("e")
+	for i := 0; i < 3; i++ {
+		g.AddNode(nt, "")
+	}
+	if err := g.AddEdge(0, 1, et, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1, et, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, n := Components(g)
+	if n != 1 {
+		t.Fatalf("components = %d, want 1", n)
+	}
+}
+
+func TestReachableWithin(t *testing.T) {
+	g := NewGraph()
+	nt := g.Types().NodeType("n")
+	et := g.Types().EdgeType("e")
+	for i := 0; i < 5; i++ {
+		g.AddNode(nt, "")
+	}
+	// Chain 0 -> 1 -> 2 -> 3; 4 detached.
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1), et, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for hops, want := range map[int]int{0: 1, 1: 2, 2: 3, 3: 4, 9: 4} {
+		got := ReachableWithin(g, []NodeID{0}, hops)
+		if len(got) != want {
+			t.Fatalf("hops=%d: reachable %d, want %d", hops, len(got), want)
+		}
+	}
+	// Multiple seeds union; invalid seeds ignored.
+	got := ReachableWithin(g, []NodeID{0, 4, -1, 99}, 1)
+	if len(got) != 3 { // {0,1} ∪ {4}
+		t.Fatalf("multi-seed reachable = %v", got)
+	}
+}
+
+func TestBidirectionalGraphSingleComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// randomBidirGraph-style construction via a spanning chain is done
+	// in the ppr package; here connect everything through one hub.
+	g := NewGraph()
+	nt := g.Types().NodeType("n")
+	et := g.Types().EdgeType("e")
+	hub := g.AddNode(nt, "")
+	for i := 0; i < 20; i++ {
+		v := g.AddNode(nt, "")
+		if err := g.AddBidirectional(hub, v, et, rng.Float64()+0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, n := Components(g); n != 1 {
+		t.Fatalf("hub graph components = %d, want 1", n)
+	}
+	reach := ReachableWithin(g, []NodeID{hub}, 1)
+	if len(reach) != g.NumNodes() {
+		t.Fatalf("hub 1-hop reach = %d, want all %d", len(reach), g.NumNodes())
+	}
+}

@@ -1,0 +1,123 @@
+package hin
+
+// CSR is an immutable, flat (compressed sparse row) snapshot of a View.
+// PPR push loops over a CSR run several times faster than over a Graph
+// or Overlay because adjacency is contiguous and the per-node weight
+// sums are precomputed — the recommender flattens each (overlay) view
+// once before scoring it.
+type CSR struct {
+	reg   *TypeRegistry
+	ntype []NodeTypeID
+
+	outStart []int32
+	outHalf  []HalfEdge
+	inStart  []int32
+	inHalf   []HalfEdge
+	outSum   []float64
+}
+
+// NewCSR flattens v. If v is already a *CSR it is returned as-is.
+func NewCSR(v View) *CSR {
+	if c, ok := v.(*CSR); ok {
+		return c
+	}
+	n := v.NumNodes()
+	c := &CSR{
+		reg:      v.Types(),
+		ntype:    make([]NodeTypeID, n),
+		outStart: make([]int32, n+1),
+		inStart:  make([]int32, n+1),
+		outSum:   make([]float64, n),
+	}
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	edges := 0
+	for i := 0; i < n; i++ {
+		c.ntype[i] = v.NodeType(NodeID(i))
+		c.outSum[i] = v.OutWeightSum(NodeID(i))
+		v.OutEdges(NodeID(i), func(h HalfEdge) bool {
+			outDeg[i]++
+			inDeg[h.Node]++
+			edges++
+			return true
+		})
+	}
+	c.outHalf = make([]HalfEdge, edges)
+	c.inHalf = make([]HalfEdge, edges)
+	for i := 0; i < n; i++ {
+		c.outStart[i+1] = c.outStart[i] + outDeg[i]
+		c.inStart[i+1] = c.inStart[i] + inDeg[i]
+	}
+	outPos := make([]int32, n)
+	inPos := make([]int32, n)
+	copy(outPos, c.outStart[:n])
+	copy(inPos, c.inStart[:n])
+	for i := 0; i < n; i++ {
+		v.OutEdges(NodeID(i), func(h HalfEdge) bool {
+			c.outHalf[outPos[i]] = h
+			outPos[i]++
+			c.inHalf[inPos[h.Node]] = HalfEdge{Node: NodeID(i), Type: h.Type, Weight: h.Weight}
+			inPos[h.Node]++
+			return true
+		})
+	}
+	return c
+}
+
+// NumNodes implements View.
+func (c *CSR) NumNodes() int { return len(c.ntype) }
+
+// NodeType implements View.
+func (c *CSR) NodeType(v NodeID) NodeTypeID { return c.ntype[v] }
+
+// Types implements View.
+func (c *CSR) Types() *TypeRegistry { return c.reg }
+
+// OutEdges implements View.
+func (c *CSR) OutEdges(v NodeID, yield func(HalfEdge) bool) {
+	for _, h := range c.outHalf[c.outStart[v]:c.outStart[v+1]] {
+		if !yield(h) {
+			return
+		}
+	}
+}
+
+// InEdges implements View.
+func (c *CSR) InEdges(v NodeID, yield func(HalfEdge) bool) {
+	for _, h := range c.inHalf[c.inStart[v]:c.inStart[v+1]] {
+		if !yield(h) {
+			return
+		}
+	}
+}
+
+// OutDegree implements View.
+func (c *CSR) OutDegree(v NodeID) int { return int(c.outStart[v+1] - c.outStart[v]) }
+
+// OutWeightSum implements View.
+func (c *CSR) OutWeightSum(v NodeID) float64 { return c.outSum[v] }
+
+// OutSlice returns v's outgoing adjacency as a shared slice. Callers
+// must not mutate it; it exists so hot loops (PPR pushes) can avoid the
+// callback overhead of OutEdges.
+func (c *CSR) OutSlice(v NodeID) []HalfEdge {
+	return c.outHalf[c.outStart[v]:c.outStart[v+1]]
+}
+
+// InSlice returns v's incoming adjacency as a shared slice (see
+// OutSlice).
+func (c *CSR) InSlice(v NodeID) []HalfEdge {
+	return c.inHalf[c.inStart[v]:c.inStart[v+1]]
+}
+
+// HasEdge implements View by scanning v's out list (CSR is built for
+// push loops; candidate filtering keeps using the underlying graph's
+// indexed lookup).
+func (c *CSR) HasEdge(from, to NodeID) bool {
+	for _, h := range c.outHalf[c.outStart[from]:c.outStart[from+1]] {
+		if h.Node == to {
+			return true
+		}
+	}
+	return false
+}

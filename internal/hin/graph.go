@@ -1,0 +1,357 @@
+package hin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is a mutable Heterogeneous Information Network: a directed,
+// weighted graph in which every node and edge has exactly one type.
+// The zero value is not usable; create graphs with NewGraph.
+//
+// Graph is not safe for concurrent mutation. Concurrent reads are safe
+// once mutation has stopped.
+type Graph struct {
+	types  *TypeRegistry
+	ntype  []NodeTypeID
+	labels []string
+	byName map[string]NodeID
+
+	out [][]HalfEdge
+	in  [][]HalfEdge
+
+	outWeight []float64 // cached sum of outgoing weights per node
+	numEdges  int
+
+	// edgeSet indexes directed (from,to) pairs for O(1) HasEdge,
+	// counting parallel typed edges.
+	edgeSet map[pairKey]int
+}
+
+type pairKey struct{ from, to NodeID }
+
+// NewGraph returns an empty graph with a fresh type registry.
+func NewGraph() *Graph {
+	return &Graph{
+		types:   NewTypeRegistry(),
+		byName:  make(map[string]NodeID),
+		edgeSet: make(map[pairKey]int),
+	}
+}
+
+// Errors returned by graph mutators.
+var (
+	ErrNodeOutOfRange = errors.New("hin: node id out of range")
+	ErrBadWeight      = errors.New("hin: edge weight must be positive and finite")
+	ErrSelfLoop       = errors.New("hin: self loops are not allowed")
+	ErrDuplicateEdge  = errors.New("hin: duplicate typed edge")
+	ErrNoSuchEdge     = errors.New("hin: no such edge")
+	ErrDuplicateLabel = errors.New("hin: duplicate node label")
+)
+
+// Types returns the graph's type registry.
+func (g *Graph) Types() *TypeRegistry { return g.types }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.ntype) }
+
+// NumEdges returns the number of directed edges (a bidirectional
+// relation stored as two directed edges counts twice).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddNode creates a node of the given type with an optional label and
+// returns its ID. Labels must be unique when non-empty; AddNode panics
+// on a duplicate label (it indicates a programming error in graph
+// construction — use NodeByLabel to resolve existing nodes).
+func (g *Graph) AddNode(typ NodeTypeID, label string) NodeID {
+	if label != "" {
+		if _, exists := g.byName[label]; exists {
+			panic(fmt.Sprintf("hin: duplicate node label %q", label))
+		}
+	}
+	id := NodeID(len(g.ntype))
+	g.ntype = append(g.ntype, typ)
+	g.labels = append(g.labels, label)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.outWeight = append(g.outWeight, 0)
+	if label != "" {
+		g.byName[label] = id
+	}
+	return id
+}
+
+// NodeByLabel resolves a node by its label. It returns InvalidNode and
+// false when no node has that label.
+func (g *Graph) NodeByLabel(label string) (NodeID, bool) {
+	id, ok := g.byName[label]
+	if !ok {
+		return InvalidNode, false
+	}
+	return id, true
+}
+
+// Label returns the label of node v ("" when unlabeled).
+func (g *Graph) Label(v NodeID) string {
+	if !g.valid(v) {
+		return ""
+	}
+	return g.labels[v]
+}
+
+// NodeType returns the type of node v. It panics if v is out of range.
+func (g *Graph) NodeType(v NodeID) NodeTypeID {
+	g.mustValid(v)
+	return g.ntype[v]
+}
+
+// NodesOfType returns all node IDs of the given type, in ID order.
+func (g *Graph) NodesOfType(typ NodeTypeID) []NodeID {
+	var out []NodeID
+	for v, t := range g.ntype {
+		if t == typ {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.ntype) }
+
+func (g *Graph) mustValid(v NodeID) {
+	if !g.valid(v) {
+		panic(fmt.Sprintf("hin: node %d out of range [0,%d)", v, len(g.ntype)))
+	}
+}
+
+// AddEdge inserts a directed, typed, weighted edge. It returns an error
+// when either endpoint is out of range, the weight is not a positive
+// finite number, the edge is a self loop, or an edge with the same
+// (from, to, type) triple already exists.
+func (g *Graph) AddEdge(from, to NodeID, typ EdgeTypeID, weight float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("%w: (%d, %d)", ErrNodeOutOfRange, from, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, from)
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("%w: got %g", ErrBadWeight, weight)
+	}
+	for _, h := range g.out[from] {
+		if h.Node == to && h.Type == typ {
+			return fmt.Errorf("%w: (%d, %d, type %d)", ErrDuplicateEdge, from, to, typ)
+		}
+	}
+	g.out[from] = append(g.out[from], HalfEdge{Node: to, Type: typ, Weight: weight})
+	g.in[to] = append(g.in[to], HalfEdge{Node: from, Type: typ, Weight: weight})
+	g.outWeight[from] += weight
+	g.edgeSet[pairKey{from, to}]++
+	g.numEdges++
+	return nil
+}
+
+// AddBidirectional inserts the edge in both directions with the same
+// type and weight. The paper's preprocessing treats every relationship
+// as bidirectional (§6.1); this helper implements that convention.
+func (g *Graph) AddBidirectional(a, b NodeID, typ EdgeTypeID, weight float64) error {
+	if err := g.AddEdge(a, b, typ, weight); err != nil {
+		return err
+	}
+	if err := g.AddEdge(b, a, typ, weight); err != nil {
+		// Roll back the first direction to keep the pair atomic.
+		if rbErr := g.RemoveEdge(a, b, typ); rbErr != nil {
+			return errors.Join(err, rbErr)
+		}
+		return err
+	}
+	return nil
+}
+
+// RemoveEdge deletes the directed edge (from, to, typ). It returns
+// ErrNoSuchEdge when the edge does not exist.
+func (g *Graph) RemoveEdge(from, to NodeID, typ EdgeTypeID) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("%w: (%d, %d)", ErrNodeOutOfRange, from, to)
+	}
+	idx := -1
+	for i, h := range g.out[from] {
+		if h.Node == to && h.Type == typ {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: (%d, %d, type %d)", ErrNoSuchEdge, from, to, typ)
+	}
+	w := g.out[from][idx].Weight
+	g.out[from] = append(g.out[from][:idx], g.out[from][idx+1:]...)
+	for i, h := range g.in[to] {
+		if h.Node == from && h.Type == typ {
+			g.in[to] = append(g.in[to][:i], g.in[to][i+1:]...)
+			break
+		}
+	}
+	g.outWeight[from] -= w
+	if g.outWeight[from] < 0 { // numeric drift guard
+		g.outWeight[from] = 0
+	}
+	k := pairKey{from, to}
+	if n := g.edgeSet[k] - 1; n <= 0 {
+		delete(g.edgeSet, k)
+	} else {
+		g.edgeSet[k] = n
+	}
+	g.numEdges--
+	return nil
+}
+
+// EdgeWeight returns the weight of the typed edge (from, to, typ) and
+// whether it exists.
+func (g *Graph) EdgeWeight(from, to NodeID, typ EdgeTypeID) (float64, bool) {
+	if !g.valid(from) {
+		return 0, false
+	}
+	for _, h := range g.out[from] {
+		if h.Node == to && h.Type == typ {
+			return h.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// HasEdge reports whether at least one directed edge (from, to) of any
+// type exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.edgeSet[pairKey{from, to}]
+	return ok
+}
+
+// OutEdges iterates the outgoing edges of v.
+func (g *Graph) OutEdges(v NodeID, yield func(HalfEdge) bool) {
+	g.mustValid(v)
+	for _, h := range g.out[v] {
+		if !yield(h) {
+			return
+		}
+	}
+}
+
+// InEdges iterates the incoming edges of v. HalfEdge.Node is the source.
+func (g *Graph) InEdges(v NodeID, yield func(HalfEdge) bool) {
+	g.mustValid(v)
+	for _, h := range g.in[v] {
+		if !yield(h) {
+			return
+		}
+	}
+}
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v NodeID) int {
+	g.mustValid(v)
+	return len(g.out[v])
+}
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v NodeID) int {
+	g.mustValid(v)
+	return len(g.in[v])
+}
+
+// OutWeightSum returns the total outgoing weight of v.
+func (g *Graph) OutWeightSum(v NodeID) float64 {
+	g.mustValid(v)
+	return g.outWeight[v]
+}
+
+// OutEdgesOfType returns the outgoing edges of v whose type is allowed
+// by the set, as full Edge values rooted at v.
+func (g *Graph) OutEdgesOfType(v NodeID, allowed EdgeTypeSet) []Edge {
+	g.mustValid(v)
+	var edges []Edge
+	for _, h := range g.out[v] {
+		if allowed.Contains(h.Type) {
+			edges = append(edges, Edge{From: v, To: h.Node, Type: h.Type, Weight: h.Weight})
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph sharing the type registry.
+// Mutating the clone does not affect the original. The registry is
+// shared because type IDs must stay consistent between the two graphs;
+// registering further types on either graph is visible to both.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		types:     g.types,
+		ntype:     append([]NodeTypeID(nil), g.ntype...),
+		labels:    append([]string(nil), g.labels...),
+		byName:    make(map[string]NodeID, len(g.byName)),
+		out:       make([][]HalfEdge, len(g.out)),
+		in:        make([][]HalfEdge, len(g.in)),
+		outWeight: append([]float64(nil), g.outWeight...),
+		numEdges:  g.numEdges,
+		edgeSet:   make(map[pairKey]int, len(g.edgeSet)),
+	}
+	for k, v := range g.byName {
+		c.byName[k] = v
+	}
+	for i := range g.out {
+		c.out[i] = append([]HalfEdge(nil), g.out[i]...)
+		c.in[i] = append([]HalfEdge(nil), g.in[i]...)
+	}
+	for k, v := range g.edgeSet {
+		c.edgeSet[k] = v
+	}
+	return c
+}
+
+// Validate checks internal invariants: adjacency symmetry between out
+// and in lists, cached out-weight sums, edge counting, and weight
+// sanity. It returns a descriptive error for the first violation found.
+// Validate is O(V + E) and intended for tests and data loading.
+func (g *Graph) Validate() error {
+	edges := 0
+	for v := range g.out {
+		var sum float64
+		for _, h := range g.out[v] {
+			if !g.valid(h.Node) {
+				return fmt.Errorf("hin: node %d has out edge to invalid node %d", v, h.Node)
+			}
+			if h.Weight <= 0 || math.IsNaN(h.Weight) || math.IsInf(h.Weight, 0) {
+				return fmt.Errorf("hin: edge (%d,%d) has bad weight %g", v, h.Node, h.Weight)
+			}
+			found := false
+			for _, r := range g.in[h.Node] {
+				if r.Node == NodeID(v) && r.Type == h.Type && r.Weight == h.Weight {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("hin: edge (%d,%d,type %d) missing from in-list", v, h.Node, h.Type)
+			}
+			if _, ok := g.edgeSet[pairKey{NodeID(v), h.Node}]; !ok {
+				return fmt.Errorf("hin: edge (%d,%d) missing from edge set", v, h.Node)
+			}
+			sum += h.Weight
+			edges++
+		}
+		if diff := math.Abs(sum - g.outWeight[v]); diff > 1e-9*(1+math.Abs(sum)) {
+			return fmt.Errorf("hin: node %d cached out weight %g != actual %g", v, g.outWeight[v], sum)
+		}
+	}
+	if edges != g.numEdges {
+		return fmt.Errorf("hin: edge count %d != cached %d", edges, g.numEdges)
+	}
+	inEdges := 0
+	for v := range g.in {
+		inEdges += len(g.in[v])
+	}
+	if inEdges != edges {
+		return fmt.Errorf("hin: in-list edge count %d != out-list %d", inEdges, edges)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package hin
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildTriangle returns a small typed graph:
+//
+//	u (user) -> a (item), u -> b (item), a -> c (category), b -> c
+func buildTriangle(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := NewGraph()
+	user := g.Types().NodeType("user")
+	item := g.Types().NodeType("item")
+	cat := g.Types().NodeType("category")
+	rated := g.Types().EdgeType("rated")
+	belongs := g.Types().EdgeType("belongs-to")
+
+	u := g.AddNode(user, "u")
+	a := g.AddNode(item, "a")
+	b := g.AddNode(item, "b")
+	c := g.AddNode(cat, "c")
+	for _, e := range []struct {
+		from, to NodeID
+		typ      EdgeTypeID
+		w        float64
+	}{
+		{u, a, rated, 1},
+		{u, b, rated, 2},
+		{a, c, belongs, 1},
+		{b, c, belongs, 1},
+	} {
+		if err := g.AddEdge(e.from, e.to, e.typ, e.w); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g, []NodeID{u, a, b, c}
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := NewGraph()
+	typ := g.Types().NodeType("x")
+	for i := 0; i < 10; i++ {
+		if got := g.AddNode(typ, ""); got != NodeID(i) {
+			t.Fatalf("AddNode #%d = %d, want %d", i, got, i)
+		}
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestNodeByLabel(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, ok := g.NodeByLabel("u")
+	if !ok || u != ids[0] {
+		t.Fatalf("NodeByLabel(u) = %d, %v; want %d, true", u, ok, ids[0])
+	}
+	if _, ok := g.NodeByLabel("nope"); ok {
+		t.Fatal("NodeByLabel(nope) should not resolve")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	g := NewGraph()
+	typ := g.Types().NodeType("x")
+	g.AddNode(typ, "dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate label")
+		}
+	}()
+	g.AddNode(typ, "dup")
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	rated, _ := g.Types().LookupEdgeType("rated")
+
+	cases := []struct {
+		name    string
+		from    NodeID
+		to      NodeID
+		w       float64
+		wantErr error
+	}{
+		{"out of range from", 99, a, 1, ErrNodeOutOfRange},
+		{"out of range to", u, -1, 1, ErrNodeOutOfRange},
+		{"self loop", u, u, 1, ErrSelfLoop},
+		{"zero weight", a, u, 0, ErrBadWeight},
+		{"negative weight", a, u, -3, ErrBadWeight},
+		{"nan weight", a, u, math.NaN(), ErrBadWeight},
+		{"inf weight", a, u, math.Inf(1), ErrBadWeight},
+		{"duplicate typed edge", u, a, 1, ErrDuplicateEdge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.AddEdge(tc.from, tc.to, rated, tc.w); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("AddEdge = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParallelEdgesOfDifferentTypes(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	reviewed := g.Types().EdgeType("reviewed")
+	if err := g.AddEdge(u, a, reviewed, 0.5); err != nil {
+		t.Fatalf("parallel typed edge rejected: %v", err)
+	}
+	if g.OutDegree(u) != 3 {
+		t.Fatalf("OutDegree(u) = %d, want 3", g.OutDegree(u))
+	}
+	// Transition sums both parallel edges: (1 + 0.5) / (1 + 2 + 0.5).
+	want := 1.5 / 3.5
+	if got := Transition(g, u, a); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Transition(u,a) = %g, want %g", got, want)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	rated, _ := g.Types().LookupEdgeType("rated")
+
+	if err := g.RemoveEdge(u, a, rated); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.HasEdge(u, a) {
+		t.Fatal("HasEdge(u,a) should be false after removal")
+	}
+	if g.OutDegree(u) != 1 {
+		t.Fatalf("OutDegree(u) = %d, want 1", g.OutDegree(u))
+	}
+	if got := g.OutWeightSum(u); math.Abs(got-2) > 1e-15 {
+		t.Fatalf("OutWeightSum(u) = %g, want 2", got)
+	}
+	if err := g.RemoveEdge(u, a, rated); !errors.Is(err, ErrNoSuchEdge) {
+		t.Fatalf("second RemoveEdge = %v, want ErrNoSuchEdge", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after removal: %v", err)
+	}
+}
+
+func TestHasEdgeCountsParallelTypes(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	rated, _ := g.Types().LookupEdgeType("rated")
+	reviewed := g.Types().EdgeType("reviewed")
+	if err := g.AddEdge(u, a, reviewed, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(u, a, rated); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(u, a) {
+		t.Fatal("HasEdge should still be true: reviewed edge remains")
+	}
+	if err := g.RemoveEdge(u, a, reviewed); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(u, a) {
+		t.Fatal("HasEdge should be false after removing both typed edges")
+	}
+}
+
+func TestAddBidirectional(t *testing.T) {
+	g, ids := buildTriangle(t)
+	a, c := ids[1], ids[3]
+	sim := g.Types().EdgeType("similar")
+	if err := g.AddBidirectional(a, c, sim, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(a, c) || !g.HasEdge(c, a) {
+		t.Fatal("bidirectional edge missing a direction")
+	}
+	// Rollback path: second direction collides -> first removed.
+	b := ids[2]
+	if err := g.AddEdge(c, b, sim, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumEdges()
+	if err := g.AddBidirectional(b, c, sim, 1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("AddBidirectional = %v, want ErrDuplicateEdge", err)
+	}
+	if g.NumEdges() != before {
+		t.Fatalf("edge count changed on failed AddBidirectional: %d -> %d", before, g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, b := ids[0], ids[2]
+	rated, _ := g.Types().LookupEdgeType("rated")
+	w, ok := g.EdgeWeight(u, b, rated)
+	if !ok || w != 2 {
+		t.Fatalf("EdgeWeight(u,b) = %g, %v; want 2, true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(b, u, rated); ok {
+		t.Fatal("EdgeWeight should be directional")
+	}
+}
+
+func TestNodesOfType(t *testing.T) {
+	g, ids := buildTriangle(t)
+	item, _ := g.Types().LookupNodeType("item")
+	items := g.NodesOfType(item)
+	if len(items) != 2 || items[0] != ids[1] || items[1] != ids[2] {
+		t.Fatalf("NodesOfType(item) = %v, want [%d %d]", items, ids[1], ids[2])
+	}
+}
+
+func TestOutEdgesOfTypeFilter(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	reviewed := g.Types().EdgeType("reviewed")
+	rated, _ := g.Types().LookupEdgeType("rated")
+	if err := g.AddEdge(u, a, reviewed, 1); err != nil {
+		t.Fatal(err)
+	}
+	onlyRated := g.OutEdgesOfType(u, NewEdgeTypeSet(rated))
+	if len(onlyRated) != 2 {
+		t.Fatalf("rated edges = %d, want 2", len(onlyRated))
+	}
+	all := g.OutEdgesOfType(u, NewEdgeTypeSet())
+	if len(all) != 3 {
+		t.Fatalf("all edges = %d, want 3", len(all))
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	rated, _ := g.Types().LookupEdgeType("rated")
+	c := g.Clone()
+	if err := c.RemoveEdge(u, a, rated); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(u, a) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.HasEdge(u, a) {
+		t.Fatal("clone did not apply mutation")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutNeighborsDeduplicates(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u, a := ids[0], ids[1]
+	reviewed := g.Types().EdgeType("reviewed")
+	if err := g.AddEdge(u, a, reviewed, 1); err != nil {
+		t.Fatal(err)
+	}
+	nbrs := OutNeighbors(g, u)
+	if len(nbrs) != 2 {
+		t.Fatalf("OutNeighbors = %v, want 2 distinct", nbrs)
+	}
+}
+
+func TestTransitionRowIsStochastic(t *testing.T) {
+	g, ids := buildTriangle(t)
+	u := ids[0]
+	var sum float64
+	for _, v := range OutNeighbors(g, u) {
+		sum += Transition(g, u, v)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("transition row sums to %g, want 1", sum)
+	}
+	// Dangling node: transition is zero everywhere.
+	c := ids[3]
+	if got := Transition(g, c, u); got != 0 {
+		t.Fatalf("Transition(dangling, u) = %g, want 0", got)
+	}
+}
+
+func TestEdgeTypeSet(t *testing.T) {
+	s := NewEdgeTypeSet(1, 3)
+	if !s.Contains(1) || !s.Contains(3) {
+		t.Fatal("set should contain registered types")
+	}
+	if s.Contains(0) || s.Contains(2) {
+		t.Fatal("set should not contain unregistered types")
+	}
+	all := NewEdgeTypeSet()
+	if !all.IsAll() || !all.Contains(42) {
+		t.Fatal("empty set should allow everything")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for type id > 63")
+		}
+	}()
+	NewEdgeTypeSet(64)
+}
+
+// randomGraph builds a pseudo-random bidirectional typed graph for
+// property tests.
+func randomGraph(rng *rand.Rand, nodes, edges int) *Graph {
+	g := NewGraph()
+	nt := g.Types().NodeType("n")
+	et := g.Types().EdgeType("e")
+	for i := 0; i < nodes; i++ {
+		g.AddNode(nt, "")
+	}
+	for i := 0; i < edges; i++ {
+		a := NodeID(rng.Intn(nodes))
+		b := NodeID(rng.Intn(nodes))
+		if a == b {
+			continue
+		}
+		w := rng.Float64() + 0.1
+		// Ignore duplicate errors: the property is about surviving edges.
+		_ = g.AddBidirectional(a, b, et, w)
+	}
+	return g
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		g := randomGraph(rng, 2+rng.Intn(30), rng.Intn(120))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("random graph #%d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestQuickRemoveRestoresWeightSum(t *testing.T) {
+	// Property: adding then removing an edge restores the out-weight sum
+	// and degree exactly (weights are compared bit-exactly because the
+	// cached sum uses the same additions and subtractions).
+	f := func(seed int64, wRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 12, 30)
+		et := g.Types().EdgeType("extra")
+		a, b := NodeID(rng.Intn(12)), NodeID(rng.Intn(12))
+		if a == b || g.HasEdge(a, b) {
+			return true
+		}
+		w := float64(wRaw)/1000 + 0.001
+		beforeDeg := g.OutDegree(a)
+		if err := g.AddEdge(a, b, et, w); err != nil {
+			return false
+		}
+		if err := g.RemoveEdge(a, b, et); err != nil {
+			return false
+		}
+		return g.OutDegree(a) == beforeDeg && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

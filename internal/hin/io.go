@@ -1,0 +1,177 @@
+package hin
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// jsonGraph is the on-disk JSON representation of a graph.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    int    `json:"id"`
+	Type  string `json:"type"`
+	Label string `json:"label,omitempty"`
+}
+
+type jsonEdge struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Type   string  `json:"type"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteJSON serializes the graph as a single JSON document with explicit
+// node and edge lists, using type names rather than numeric type IDs so
+// the file is self-describing.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, g.NumNodes()),
+		Edges: make([]jsonEdge, 0, g.NumEdges()),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		jg.Nodes[v] = jsonNode{
+			ID:    v,
+			Type:  g.types.NodeTypeName(g.ntype[v]),
+			Label: g.labels[v],
+		}
+		for _, h := range g.out[v] {
+			jg.Edges = append(jg.Edges, jsonEdge{
+				From:   v,
+				To:     int(h.Node),
+				Type:   g.types.EdgeTypeName(h.Type),
+				Weight: h.Weight,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON parses a graph previously written by WriteJSON. Node IDs in
+// the file must be dense and start at 0.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("hin: decoding graph JSON: %w", err)
+	}
+	g := NewGraph()
+	for i, n := range jg.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("hin: node ids must be dense, got %d at position %d", n.ID, i)
+		}
+		g.AddNode(g.types.NodeType(n.Type), n.Label)
+	}
+	for _, e := range jg.Edges {
+		if err := g.AddEdge(NodeID(e.From), NodeID(e.To), g.types.EdgeType(e.Type), e.Weight); err != nil {
+			return nil, fmt.Errorf("hin: edge (%d,%d): %w", e.From, e.To, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteTSV writes the graph as two sections: a "# nodes" section with
+// one "id<TAB>type<TAB>label" line per node, then a "# edges" section
+// with one "from<TAB>to<TAB>type<TAB>weight" line per edge. The format
+// round-trips through ReadTSV and is convenient for shell inspection.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# nodes"); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", v, g.types.NodeTypeName(g.ntype[v]), g.labels[v]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "# edges"); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, h := range g.out[v] {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%g\n", v, h.Node, g.types.EdgeTypeName(h.Type), h.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the format produced by WriteTSV.
+func ReadTSV(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	section := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			section = strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		switch section {
+		case "nodes":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("hin: line %d: node needs id and type", line)
+			}
+			id, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("hin: line %d: bad node id: %w", line, err)
+			}
+			if id != g.NumNodes() {
+				return nil, fmt.Errorf("hin: line %d: node ids must be dense, got %d want %d", line, id, g.NumNodes())
+			}
+			label := ""
+			if len(fields) >= 3 {
+				label = fields[2]
+			}
+			g.AddNode(g.types.NodeType(fields[1]), label)
+		case "edges":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("hin: line %d: edge needs from, to, type, weight", line)
+			}
+			from, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("hin: line %d: bad from: %w", line, err)
+			}
+			to, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("hin: line %d: bad to: %w", line, err)
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hin: line %d: bad weight: %w", line, err)
+			}
+			if err := g.AddEdge(NodeID(from), NodeID(to), g.types.EdgeType(fields[2]), w); err != nil {
+				return nil, fmt.Errorf("hin: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("hin: line %d: content before a section header", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,98 @@
+package hin
+
+// PatchedCSR is a View over a base CSR with a single node's outgoing
+// row replaced. EMiGRe's counterfactuals only ever edit the target
+// user's out-edges, so the CHECK step can score an overlay without
+// re-flattening the whole graph: build the user's new row (O(deg u))
+// and share everything else.
+//
+// All View methods are exact: InEdges and HasEdge account for the
+// patch by filtering base entries originating at the patched node and
+// substituting the patched row.
+type PatchedCSR struct {
+	base *CSR
+	node NodeID
+	out  []HalfEdge
+	sum  float64
+}
+
+// NewPatchedCSR returns a view of base with node's outgoing row
+// replaced by out (weight sum outSum). The slice is retained; callers
+// must not mutate it afterwards.
+func NewPatchedCSR(base *CSR, node NodeID, out []HalfEdge, outSum float64) *PatchedCSR {
+	return &PatchedCSR{base: base, node: node, out: out, sum: outSum}
+}
+
+// NumNodes implements View.
+func (p *PatchedCSR) NumNodes() int { return p.base.NumNodes() }
+
+// NodeType implements View.
+func (p *PatchedCSR) NodeType(v NodeID) NodeTypeID { return p.base.NodeType(v) }
+
+// Types implements View.
+func (p *PatchedCSR) Types() *TypeRegistry { return p.base.Types() }
+
+// OutSlice returns v's outgoing adjacency (the patched row for the
+// patched node). Callers must not mutate the result.
+func (p *PatchedCSR) OutSlice(v NodeID) []HalfEdge {
+	if v == p.node {
+		return p.out
+	}
+	return p.base.OutSlice(v)
+}
+
+// OutEdges implements View.
+func (p *PatchedCSR) OutEdges(v NodeID, yield func(HalfEdge) bool) {
+	for _, h := range p.OutSlice(v) {
+		if !yield(h) {
+			return
+		}
+	}
+}
+
+// InEdges implements View: base in-edges originating at the patched
+// node are suppressed and replaced by the patched row's entries.
+func (p *PatchedCSR) InEdges(v NodeID, yield func(HalfEdge) bool) {
+	stopped := false
+	p.base.InEdges(v, func(h HalfEdge) bool {
+		if h.Node == p.node {
+			return true
+		}
+		if !yield(h) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, h := range p.out {
+		if h.Node == v {
+			if !yield(HalfEdge{Node: p.node, Type: h.Type, Weight: h.Weight}) {
+				return
+			}
+		}
+	}
+}
+
+// OutDegree implements View.
+func (p *PatchedCSR) OutDegree(v NodeID) int { return len(p.OutSlice(v)) }
+
+// OutWeightSum implements View.
+func (p *PatchedCSR) OutWeightSum(v NodeID) float64 {
+	if v == p.node {
+		return p.sum
+	}
+	return p.base.OutWeightSum(v)
+}
+
+// HasEdge implements View.
+func (p *PatchedCSR) HasEdge(from, to NodeID) bool {
+	for _, h := range p.OutSlice(from) {
+		if h.Node == to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package hin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPatchedCSRMatchesOverlay verifies that patching a single node's
+// out-row into a CSR is observationally identical to the overlay it
+// models, across every View method.
+func TestPatchedCSRMatchesOverlay(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 4+rng.Intn(12), 10+rng.Intn(40))
+		u := NodeID(rng.Intn(g.NumNodes()))
+		et, _ := g.Types().LookupEdgeType("e")
+
+		// Random u-row edits: drop some out-edges, add some new ones.
+		var removals, additions []Edge
+		for _, e := range g.OutEdgesOfType(u, NewEdgeTypeSet()) {
+			if rng.Float64() < 0.5 {
+				removals = append(removals, e)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v := NodeID(rng.Intn(g.NumNodes()))
+			if v == u {
+				continue
+			}
+			if _, exists := g.EdgeWeight(u, v, et); exists {
+				continue
+			}
+			dup := false
+			for _, e := range additions {
+				if e.To == v {
+					dup = true
+				}
+			}
+			if !dup {
+				additions = append(additions, Edge{From: u, To: v, Type: et, Weight: rng.Float64() + 0.1})
+			}
+		}
+		o, err := NewOverlay(g, removals, additions)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Build the patch from the overlay's u-row.
+		var row []HalfEdge
+		o.OutEdges(u, func(h HalfEdge) bool { row = append(row, h); return true })
+		p := NewPatchedCSR(NewCSR(g), u, row, o.OutWeightSum(u))
+
+		viewsAgree(t, o, p)
+	}
+}
+
+func TestPatchedCSRDanglingPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := randomGraph(rng, 8, 20)
+	u := NodeID(0)
+	p := NewPatchedCSR(NewCSR(g), u, nil, 0)
+	if p.OutDegree(u) != 0 || p.OutWeightSum(u) != 0 {
+		t.Fatal("empty patch should make the node dangling")
+	}
+	p.OutEdges(u, func(HalfEdge) bool {
+		t.Fatal("dangling patched node yielded an edge")
+		return false
+	})
+	// Other nodes unaffected.
+	for v := 1; v < g.NumNodes(); v++ {
+		if p.OutDegree(NodeID(v)) != g.OutDegree(NodeID(v)) {
+			t.Fatalf("node %d degree changed by unrelated patch", v)
+		}
+	}
+	// In-edges from u must vanish everywhere.
+	for v := 0; v < g.NumNodes(); v++ {
+		p.InEdges(NodeID(v), func(h HalfEdge) bool {
+			if h.Node == u {
+				t.Fatalf("node %d still has an in-edge from the patched-dangling node", v)
+			}
+			return true
+		})
+	}
+}
+
+func TestPatchedCSREarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	g := randomGraph(rng, 8, 30)
+	u := NodeID(0)
+	et, _ := g.Types().LookupEdgeType("e")
+	row := []HalfEdge{{Node: 1, Type: et, Weight: 1}, {Node: 2, Type: et, Weight: 1}}
+	p := NewPatchedCSR(NewCSR(g), u, row, 2)
+	n := 0
+	p.OutEdges(u, func(HalfEdge) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d edges", n)
+	}
+	n = 0
+	p.InEdges(1, func(HalfEdge) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("in-edge early stop visited %d edges", n)
+	}
+}

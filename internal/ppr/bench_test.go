@@ -1,0 +1,143 @@
+package ppr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// benchGraph builds a random bidirectional graph and its CSR snapshot.
+func benchGraph(nodes, extra int) (*hin.Graph, *hin.CSR) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomBidirGraph(rng, nodes, extra)
+	return g, hin.NewCSR(g)
+}
+
+func benchSizes() []struct{ nodes, extra int } {
+	return []struct{ nodes, extra int }{
+		{nodes: 500, extra: 2000},
+		{nodes: 5000, extra: 20000},
+	}
+}
+
+func BenchmarkForwardPush(b *testing.B) {
+	for _, sz := range benchSizes() {
+		g, csr := benchGraph(sz.nodes, sz.extra)
+		params := DefaultParams()
+		b.Run(fmt.Sprintf("n=%d/graph", sz.nodes), func(b *testing.B) {
+			e := NewForwardPush(params)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.FromSource(g, hin.NodeID(i%sz.nodes)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/csr", sz.nodes), func(b *testing.B) {
+			e := NewForwardPush(params)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.FromSource(csr, hin.NodeID(i%sz.nodes)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReversePush(b *testing.B) {
+	for _, sz := range benchSizes() {
+		_, csr := benchGraph(sz.nodes, sz.extra)
+		params := DefaultParams()
+		b.Run(fmt.Sprintf("n=%d", sz.nodes), func(b *testing.B) {
+			e := NewReversePush(params)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ToTarget(csr, hin.NodeID(i%sz.nodes)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPowerIteration(b *testing.B) {
+	g, _ := benchGraph(500, 2000)
+	params := DefaultParams()
+	params.Tol = 1e-10
+	e := NewPower(params)
+	b.Run("from-source", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.FromSource(g, hin.NodeID(i%500)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("to-target", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ToTarget(g, hin.NodeID(i%500)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMonteCarlo(b *testing.B) {
+	g, _ := benchGraph(500, 2000)
+	params := DefaultParams()
+	params.Walks = 10000
+	e := NewMonteCarlo(params)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.FromSource(g, hin.NodeID(i%500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDynamicVsStatic is the ablation for the §5.3
+// optimization: the cost of evaluating a counterfactual (one user
+// out-row edit) with a fresh forward push versus the dynamic repair.
+func BenchmarkAblationDynamicVsStatic(b *testing.B) {
+	g, csr := benchGraph(5000, 20000)
+	params := DefaultParams()
+	rng := rand.New(rand.NewSource(9))
+	s := hin.NodeID(3)
+	u := s
+	et, _ := g.Types().LookupEdgeType("e")
+
+	// Pre-build a pool of counterfactual overlays toggling u's edges.
+	var overlays []*hin.Overlay
+	edges := g.OutEdgesOfType(u, hin.NewEdgeTypeSet())
+	for i := 0; i < 16 && i < len(edges); i++ {
+		o, err := hin.NewOverlay(csr, []hin.Edge{edges[i%len(edges)]},
+			[]hin.Edge{{From: u, To: hin.NodeID((i*37 + 11) % 5000), Type: et, Weight: 0.8}})
+		if err != nil {
+			continue
+		}
+		overlays = append(overlays, o)
+	}
+	if len(overlays) == 0 {
+		b.Skip("no overlays constructible")
+	}
+	_ = rng
+
+	b.Run("static-recompute", func(b *testing.B) {
+		e := NewForwardPush(params)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.FromSource(overlays[i%len(overlays)], s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dynamic-update", func(b *testing.B) {
+		dyn, err := NewDynamicForwardPush(params, csr, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dyn.Update(overlays[i%len(overlays)], u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

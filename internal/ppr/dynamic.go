@@ -1,0 +1,159 @@
+package ppr
+
+import (
+	"fmt"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// DynamicForwardPush maintains a forward-push PPR state PPR(s,·) across
+// graph updates that modify a single node's outgoing edges — exactly
+// the shape of EMiGRe's counterfactuals, which only touch the target
+// user's out-neighborhood. It follows the dynamic local-push idea of
+// Zhang, Lofgren & Goel (KDD'16), reference [38/39] of the paper.
+//
+// Derivation (DESIGN.md §3): the push invariant is equivalent to
+// p = Zᵀ(e_s − r) with Z = α(I − (1−α)W)⁻¹. When row u of W changes by
+// δᵀ = W′(u,·) − W(u,·), keeping p and setting
+//
+//	r′ = r + (1−α)/α · p(u) · δ
+//
+// re-establishes the invariant exactly on the new graph. The repair is
+// O(deg(u)); resuming the push loop (with signed residuals — δ can be
+// negative) converges to the new PPR without a full recomputation.
+type DynamicForwardPush struct {
+	params Params
+	view   hin.View
+	source hin.NodeID
+	p, r   Vector
+	// UpdatePushes accumulates the pushes performed by Update calls,
+	// for ablation reporting.
+	UpdatePushes int
+}
+
+// NewDynamicForwardPush runs a full forward push on g and returns the
+// maintained state.
+func NewDynamicForwardPush(params Params, g hin.View, s hin.NodeID) (*DynamicForwardPush, error) {
+	res, err := NewForwardPush(params).Run(g, s)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicForwardPush{
+		params: params,
+		view:   g,
+		source: s,
+		p:      res.Estimates,
+		r:      res.Residuals,
+	}, nil
+}
+
+// Estimates returns the current estimate vector. It approximates the
+// PPR of the most recently bound view within the usual push tolerance.
+func (d *DynamicForwardPush) Estimates() Vector { return d.p }
+
+// Source returns the personalization source node.
+func (d *DynamicForwardPush) Source() hin.NodeID { return d.source }
+
+// Update rebinds the state to newView, which must differ from the
+// previous view only in the outgoing edges of node u, and repairs the
+// push invariant locally before resuming the push loop.
+func (d *DynamicForwardPush) Update(newView hin.View, u hin.NodeID) error {
+	if newView.NumNodes() != d.view.NumNodes() {
+		return fmt.Errorf("ppr: dynamic update cannot change the node count (%d -> %d)",
+			d.view.NumNodes(), newView.NumNodes())
+	}
+	if err := checkNode(newView, u); err != nil {
+		return err
+	}
+	delta := transitionDelta(d.view, newView, u)
+	scale := (1 - d.params.Alpha) / d.params.Alpha * d.p[u]
+	if scale != 0 {
+		for y, dw := range delta {
+			d.r[y] += scale * dw
+		}
+	}
+	d.view = newView
+	d.push()
+	return nil
+}
+
+// transitionDelta returns W′(u,·) − W(u,·) as a sparse map over the
+// union of u's old and new out-neighborhoods.
+func transitionDelta(oldView, newView hin.View, u hin.NodeID) map[hin.NodeID]float64 {
+	delta := make(map[hin.NodeID]float64)
+	if total := oldView.OutWeightSum(u); total > 0 {
+		oldView.OutEdges(u, func(h hin.HalfEdge) bool {
+			delta[h.Node] -= h.Weight / total
+			return true
+		})
+	}
+	if total := newView.OutWeightSum(u); total > 0 {
+		newView.OutEdges(u, func(h hin.HalfEdge) bool {
+			delta[h.Node] += h.Weight / total
+			return true
+		})
+	}
+	for y, dw := range delta {
+		if dw == 0 {
+			delete(delta, y)
+		}
+	}
+	return delta
+}
+
+// push drains residuals above the tolerance in absolute value. Unlike
+// the static loop, residuals may be negative after a repair; the push
+// rule is linear, so it applies unchanged.
+func (d *DynamicForwardPush) push() {
+	alpha := d.params.Alpha
+	eps := d.params.Epsilon
+	n := d.view.NumNodes()
+	queue := make([]hin.NodeID, 0, 64)
+	inQueue := make([]bool, n)
+	for v := range d.r {
+		if abs(d.r[v]) > eps {
+			queue = append(queue, hin.NodeID(v))
+			inQueue[v] = true
+		}
+	}
+	csr, _ := d.view.(OutSliceView)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		rv := d.r[v]
+		if abs(rv) <= eps {
+			continue
+		}
+		d.r[v] = 0
+		d.p[v] += alpha * rv
+		d.UpdatePushes++
+		total := d.view.OutWeightSum(v)
+		if total <= 0 {
+			continue
+		}
+		scale := (1 - alpha) * rv / total
+		visit := func(h hin.HalfEdge) bool {
+			d.r[h.Node] += scale * h.Weight
+			if abs(d.r[h.Node]) > eps && !inQueue[h.Node] {
+				queue = append(queue, h.Node)
+				inQueue[h.Node] = true
+			}
+			return true
+		}
+		if csr != nil {
+			for _, h := range csr.OutSlice(v) {
+				visit(h)
+			}
+		} else {
+			d.view.OutEdges(v, visit)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

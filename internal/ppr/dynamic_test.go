@@ -1,0 +1,201 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// applyUserEdits builds an overlay removing some of u's out-edges and
+// adding new ones, returning it with the edit lists.
+func applyUserEdits(t *testing.T, g *hin.Graph, u hin.NodeID, rng *rand.Rand) *hin.Overlay {
+	t.Helper()
+	et, _ := g.Types().LookupEdgeType("e")
+	var removals, additions []hin.Edge
+	for _, e := range g.OutEdgesOfType(u, hin.NewEdgeTypeSet()) {
+		if rng.Float64() < 0.4 {
+			removals = append(removals, e)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		v := hin.NodeID(rng.Intn(g.NumNodes()))
+		if v == u {
+			continue
+		}
+		if _, exists := g.EdgeWeight(u, v, et); exists {
+			continue
+		}
+		dup := false
+		for _, e := range additions {
+			if e.To == v {
+				dup = true
+			}
+		}
+		if !dup {
+			additions = append(additions, hin.Edge{From: u, To: v, Type: et, Weight: rng.Float64() + 0.2})
+		}
+	}
+	o, err := hin.NewOverlay(g, removals, additions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestDynamicForwardPushMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 12; trial++ {
+		g := randomBidirGraph(rng, 12+rng.Intn(20), 20+rng.Intn(40))
+		params := testParams()
+		s := hin.NodeID(rng.Intn(g.NumNodes()))
+		u := hin.NodeID(rng.Intn(g.NumNodes()))
+
+		dyn, err := NewDynamicForwardPush(params, g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := applyUserEdits(t, g, u, rng)
+		if err := dyn.Update(o, u); err != nil {
+			t.Fatal(err)
+		}
+		exact, err := NewPower(params).FromSource(o, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range exact {
+			if diff := math.Abs(exact[v] - dyn.Estimates()[v]); diff > 1e-6 {
+				t.Fatalf("trial %d: PPR(%d,%d) after update: dynamic %g vs exact %g",
+					trial, s, v, dyn.Estimates()[v], exact[v])
+			}
+		}
+	}
+}
+
+func TestDynamicForwardPushChainedUpdates(t *testing.T) {
+	// Apply several successive edit rounds at the same node; the state
+	// must track the final graph.
+	rng := rand.New(rand.NewSource(72))
+	g := randomBidirGraph(rng, 20, 50)
+	params := testParams()
+	s, u := hin.NodeID(0), hin.NodeID(5)
+	dyn, err := NewDynamicForwardPush(params, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view hin.View = g
+	for round := 0; round < 4; round++ {
+		et, _ := g.Types().LookupEdgeType("e")
+		// Build an overlay over the *current* view toggling one edge.
+		var o *hin.Overlay
+		target := hin.NodeID((round*3 + 7) % g.NumNodes())
+		if target == u {
+			target++
+		}
+		has := false
+		view.OutEdges(u, func(h hin.HalfEdge) bool {
+			if h.Node == target {
+				has = true
+				return false
+			}
+			return true
+		})
+		if has {
+			var typ hin.EdgeTypeID
+			var w float64
+			view.OutEdges(u, func(h hin.HalfEdge) bool {
+				if h.Node == target {
+					typ, w = h.Type, h.Weight
+					return false
+				}
+				return true
+			})
+			o, err = hin.NewOverlay(view, []hin.Edge{{From: u, To: target, Type: typ, Weight: w}}, nil)
+		} else {
+			o, err = hin.NewOverlay(view, nil, []hin.Edge{{From: u, To: target, Type: et, Weight: 0.7}})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dyn.Update(o, u); err != nil {
+			t.Fatal(err)
+		}
+		view = o
+	}
+	exact, err := NewPower(testParams()).FromSource(view, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact {
+		if diff := math.Abs(exact[v] - dyn.Estimates()[v]); diff > 1e-6 {
+			t.Fatalf("after chained updates: PPR(%d,%d) dynamic %g vs exact %g",
+				s, v, dyn.Estimates()[v], exact[v])
+		}
+	}
+}
+
+func TestDynamicUpdateCheapLocalChange(t *testing.T) {
+	// The whole point: an update must push far less than a fresh run.
+	rng := rand.New(rand.NewSource(73))
+	g := randomBidirGraph(rng, 400, 1600)
+	params := testParams()
+	params.Epsilon = 1e-8
+	s, u := hin.NodeID(1), hin.NodeID(1) // edits at the source: worst locality
+	dyn, err := NewDynamicForwardPush(params, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewForwardPush(params).Run(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := applyUserEdits(t, g, u, rng)
+	if err := dyn.Update(o, u); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.UpdatePushes == 0 {
+		t.Fatal("update performed no pushes despite edits at the source")
+	}
+	if dyn.UpdatePushes >= fresh.Pushes {
+		t.Fatalf("dynamic update pushed %d times, fresh run only %d — no saving",
+			dyn.UpdatePushes, fresh.Pushes)
+	}
+}
+
+func TestDynamicUpdateRejectsNodeCountChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	g := randomBidirGraph(rng, 10, 20)
+	dyn, err := NewDynamicForwardPush(testParams(), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := randomBidirGraph(rng, 11, 20)
+	if err := dyn.Update(bigger, 0); err == nil {
+		t.Fatal("expected error for node-count change")
+	}
+	if err := dyn.Update(g, 99); err == nil {
+		t.Fatal("expected error for out-of-range node")
+	}
+}
+
+func TestDynamicNoOpUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	g := randomBidirGraph(rng, 15, 30)
+	dyn, err := NewDynamicForwardPush(testParams(), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append(Vector(nil), dyn.Estimates()...)
+	if err := dyn.Update(g, 5); err != nil { // same view: empty delta
+		t.Fatal(err)
+	}
+	for v := range before {
+		if before[v] != dyn.Estimates()[v] {
+			t.Fatal("no-op update changed estimates")
+		}
+	}
+	if dyn.UpdatePushes != 0 {
+		t.Fatalf("no-op update pushed %d times", dyn.UpdatePushes)
+	}
+}

@@ -1,0 +1,85 @@
+package ppr
+
+import (
+	"math/rand"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// MonteCarlo estimates PPR(s,·) as the terminal-node frequency of
+// α-terminated random walks: the walk restarts... rather, terminates at
+// its current node with probability α at every step, so
+//
+//	P(walk from s ends at v) = Σ_k α(1−α)^k · P(X_k = v) = PPR(s, v).
+//
+// A walk reaching a dangling node is absorbed without producing a
+// terminal sample, matching the sub-stochastic convention of the other
+// engines. MonteCarlo is used for ablation benchmarks; it is not
+// accurate enough for EMiGRe's tight score comparisons.
+type MonteCarlo struct {
+	Params Params
+}
+
+// NewMonteCarlo returns a Monte Carlo engine with the given parameters.
+func NewMonteCarlo(p Params) *MonteCarlo { return &MonteCarlo{Params: p} }
+
+// Name implements Engine.
+func (e *MonteCarlo) Name() string { return "monte-carlo" }
+
+// FromSource samples Params.Walks random walks from s and returns the
+// empirical terminal distribution. The engine is deterministic for a
+// fixed Params.Seed.
+func (e *MonteCarlo) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
+	if err := e.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkNode(g, s); err != nil {
+		return nil, err
+	}
+	walks := e.Params.Walks
+	if walks <= 0 {
+		walks = 10000
+	}
+	rng := rand.New(rand.NewSource(e.Params.Seed))
+	counts := make([]int, g.NumNodes())
+	for i := 0; i < walks; i++ {
+		v := s
+		for {
+			if rng.Float64() < e.Params.Alpha {
+				counts[v]++
+				break
+			}
+			next, ok := sampleOutEdge(g, v, rng)
+			if !ok {
+				break // absorbed at dangling node
+			}
+			v = next
+		}
+	}
+	p := make(Vector, g.NumNodes())
+	for v, c := range counts {
+		p[v] = float64(c) / float64(walks)
+	}
+	return p, nil
+}
+
+// sampleOutEdge picks an outgoing neighbor of v with probability
+// proportional to edge weight. It reports false when v is dangling.
+func sampleOutEdge(g hin.View, v hin.NodeID, rng *rand.Rand) (hin.NodeID, bool) {
+	total := g.OutWeightSum(v)
+	if total <= 0 {
+		return hin.InvalidNode, false
+	}
+	target := rng.Float64() * total
+	var acc float64
+	next := hin.InvalidNode
+	g.OutEdges(v, func(h hin.HalfEdge) bool {
+		acc += h.Weight
+		next = h.Node
+		return acc < target
+	})
+	if next == hin.InvalidNode {
+		return hin.InvalidNode, false
+	}
+	return next, true
+}

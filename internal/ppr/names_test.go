@@ -1,0 +1,36 @@
+package ppr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+func TestEngineNames(t *testing.T) {
+	p := DefaultParams()
+	names := map[string]string{
+		NewPower(p).Name():       "power",
+		NewForwardPush(p).Name(): "forward-push",
+		NewReversePush(p).Name(): "reverse-push",
+		NewMonteCarlo(p).Name():  "monte-carlo",
+		NewExact(p).Name():       "exact",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Fatalf("engine name %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDynamicSourceAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomBidirGraph(rng, 8, 12)
+	dyn, err := NewDynamicForwardPush(testParams(), g, hin.NodeID(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Source() != 3 {
+		t.Fatalf("Source = %d, want 3", dyn.Source())
+	}
+}

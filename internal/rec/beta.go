@@ -1,0 +1,63 @@
+package rec
+
+import "github.com/why-not-xai/emigre/internal/hin"
+
+// betaView decorates a hin.View so the transition probability out of a
+// node v becomes
+//
+//	W'(v,x) = β · w(v,x)/Σw(v,·) + (1−β) · 1/deg(v)
+//
+// — a RecWalk-style mix of the weight-proportional walk and the uniform
+// walk. It is implemented by rewriting edge weights so that each node's
+// out-weights sum to exactly 1 (except dangling nodes, which stay
+// dangling), which means downstream PPR engines need no changes.
+type betaView struct {
+	hin.View
+	beta float64
+}
+
+// WrapBeta wraps g with the β-mix. β = 1 returns g unchanged (the plain
+// weighted walk needs no rewrite because the engines normalize rows
+// themselves).
+func WrapBeta(g hin.View, beta float64) hin.View {
+	if beta == 1 {
+		return g
+	}
+	return &betaView{View: g, beta: beta}
+}
+
+func (b *betaView) OutEdges(v hin.NodeID, yield func(hin.HalfEdge) bool) {
+	total := b.View.OutWeightSum(v)
+	deg := b.View.OutDegree(v)
+	if total <= 0 || deg == 0 {
+		return
+	}
+	uniform := (1 - b.beta) / float64(deg)
+	b.View.OutEdges(v, func(h hin.HalfEdge) bool {
+		h.Weight = b.beta*h.Weight/total + uniform
+		return yield(h)
+	})
+}
+
+func (b *betaView) InEdges(v hin.NodeID, yield func(hin.HalfEdge) bool) {
+	// The incoming edge (x -> v) must carry the same rewritten weight it
+	// has in x's out-list, because reverse push divides by x's
+	// OutWeightSum.
+	b.View.InEdges(v, func(h hin.HalfEdge) bool {
+		src := h.Node
+		total := b.View.OutWeightSum(src)
+		deg := b.View.OutDegree(src)
+		if total <= 0 || deg == 0 {
+			return true
+		}
+		h.Weight = b.beta*h.Weight/total + (1-b.beta)/float64(deg)
+		return yield(h)
+	})
+}
+
+func (b *betaView) OutWeightSum(v hin.NodeID) float64 {
+	if b.View.OutDegree(v) == 0 || b.View.OutWeightSum(v) <= 0 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,269 @@
+// Package rec implements the graph recommender of §3.2: items are
+// ranked for a user u by their Personalized PageRank score PPR(u, i),
+// and the recommendation is
+//
+//	rec = argmax_{i ∈ I \ Nout(u)} PPR(u, i)      (Eq. 2)
+//
+// — the best-scoring item the user has not already interacted with.
+//
+// The transition structure follows the RecWalk idea the paper builds on:
+// the walk follows outgoing edges with a β-mix between weight-
+// proportional and uniform transitions (β = 1 is the plain weighted
+// walk; the paper's experimental setting uses β = 0.5). The mix is
+// exposed as a View decorator so PPR engines, the EMiGRe explainer and
+// the PRINCE baseline all see exactly the same transition matrix.
+package rec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/ppr"
+)
+
+// Config parameterizes a Recommender.
+type Config struct {
+	// PPR holds the Personalized PageRank hyper-parameters (α, ε, ...).
+	PPR ppr.Params
+	// Beta mixes weight-proportional (β) and uniform (1−β) transition
+	// probabilities over a node's outgoing edges. The paper's setting
+	// uses β = 0.5.
+	Beta float64
+	// ItemTypes lists the node types that are recommendable (the item
+	// set I). At least one type is required.
+	ItemTypes []hin.NodeTypeID
+}
+
+// DefaultConfig returns the paper's experimental setting: α = 0.15,
+// ε = 2.7e-8, β = 0.5, with the given recommendable item types.
+func DefaultConfig(itemTypes ...hin.NodeTypeID) Config {
+	return Config{
+		PPR:       ppr.DefaultParams(),
+		Beta:      0.5,
+		ItemTypes: itemTypes,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.PPR.Validate(); err != nil {
+		return err
+	}
+	if c.Beta < 0 || c.Beta > 1 {
+		return fmt.Errorf("rec: beta must be in [0,1], got %g", c.Beta)
+	}
+	if len(c.ItemTypes) == 0 {
+		return errors.New("rec: at least one item node type is required")
+	}
+	return nil
+}
+
+// Errors returned by the recommender.
+var (
+	ErrNoCandidates = errors.New("rec: user has no recommendable candidate items")
+	ErrNotCandidate = errors.New("rec: node is not a candidate item for this user")
+)
+
+// Scored pairs a node with its personalized score.
+type Scored struct {
+	Node  hin.NodeID
+	Score float64
+}
+
+// Recommender ranks items for users over a fixed view. Use WithView to
+// rebind the same configuration to a counterfactual overlay.
+type Recommender struct {
+	cfg      Config
+	base     hin.View
+	view     hin.View        // base wrapped with the β-mix when Beta != 1
+	flat     *hin.CSR        // lazy CSR snapshot of view for fast push loops
+	scoring  *hin.PatchedCSR // set by WithUserPatch: single-row patch over a shared snapshot
+	engine   *ppr.ForwardPush
+	itemMask []bool // node type id -> recommendable
+}
+
+// New builds a recommender over g. It returns an error for an invalid
+// configuration.
+func New(g hin.View, cfg Config) (*Recommender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mask := make([]bool, 256)
+	for _, t := range cfg.ItemTypes {
+		mask[t] = true
+	}
+	return &Recommender{
+		cfg:      cfg,
+		base:     g,
+		view:     WrapBeta(g, cfg.Beta),
+		engine:   ppr.NewForwardPush(cfg.PPR),
+		itemMask: mask,
+	}, nil
+}
+
+// WithView returns a recommender with the same configuration bound to a
+// different view (typically a counterfactual hin.Overlay of the
+// original graph).
+func (r *Recommender) WithView(g hin.View) *Recommender {
+	c := *r
+	c.base = g
+	c.view = WrapBeta(g, r.cfg.Beta)
+	c.flat = nil
+	c.scoring = nil
+	return &c
+}
+
+// Flat returns a CSR snapshot of the scoring view, built on first use.
+// PPR engines (including EMiGRe's reverse pushes) should run over it:
+// it is equivalent to View() but several times faster to traverse.
+func (r *Recommender) Flat() *hin.CSR {
+	if r.flat == nil {
+		r.flat = hin.NewCSR(r.view)
+	}
+	return r.flat
+}
+
+// WithUserPatch returns a recommender bound to view v, which must
+// differ from this recommender's base view only in the outgoing edges
+// of node u — the shape of every EMiGRe counterfactual. Unlike
+// WithView, the returned recommender scores over a PatchedCSR that
+// shares this recommender's flat snapshot, so binding costs O(deg u)
+// instead of O(V+E).
+func (r *Recommender) WithUserPatch(v hin.View, u hin.NodeID) *Recommender {
+	c := *r
+	c.base = v
+	c.view = WrapBeta(v, r.cfg.Beta)
+	c.flat = nil
+	c.scoring = r.patchedRow(v, u)
+	return &c
+}
+
+// ScoringView returns the view PPR runs over: the patched snapshot
+// when one is bound (WithUserPatch), else the full flat snapshot.
+func (r *Recommender) ScoringView() hin.View {
+	if r.scoring != nil {
+		return r.scoring
+	}
+	return r.Flat()
+}
+
+// patchedRow builds u's β-mixed outgoing row under v and patches it
+// into the base flat snapshot.
+func (r *Recommender) patchedRow(v hin.View, u hin.NodeID) *hin.PatchedCSR {
+	total := v.OutWeightSum(u)
+	deg := v.OutDegree(u)
+	var row []hin.HalfEdge
+	var sum float64
+	if total > 0 && deg > 0 {
+		row = make([]hin.HalfEdge, 0, deg)
+		if r.cfg.Beta == 1 {
+			v.OutEdges(u, func(h hin.HalfEdge) bool {
+				row = append(row, h)
+				return true
+			})
+			sum = total
+		} else {
+			uniform := (1 - r.cfg.Beta) / float64(deg)
+			v.OutEdges(u, func(h hin.HalfEdge) bool {
+				h.Weight = r.cfg.Beta*h.Weight/total + uniform
+				row = append(row, h)
+				return true
+			})
+			sum = 1
+		}
+	}
+	return hin.NewPatchedCSR(r.Flat(), u, row, sum)
+}
+
+// Config returns the recommender's configuration.
+func (r *Recommender) Config() Config { return r.cfg }
+
+// View returns the transition view the recommender scores over: the
+// underlying graph wrapped with the β-mix. EMiGRe's contribution
+// functions must read transition weights from this view so heuristics
+// and the CHECK step agree.
+func (r *Recommender) View() hin.View { return r.view }
+
+// IsItem reports whether node v has a recommendable type.
+func (r *Recommender) IsItem(v hin.NodeID) bool {
+	return r.itemMask[r.base.NodeType(v)]
+}
+
+// IsCandidate reports whether v may appear in u's recommendation list:
+// v is an item, v ≠ u, and the user has no outgoing edge to v.
+func (r *Recommender) IsCandidate(u, v hin.NodeID) bool {
+	return v != u && r.IsItem(v) && !r.base.HasEdge(u, v)
+}
+
+// Scores returns the full personalized score vector PPR(u, ·) over the
+// β-mixed transition view.
+func (r *Recommender) Scores(u hin.NodeID) (ppr.Vector, error) {
+	return r.engine.FromSource(r.ScoringView(), u)
+}
+
+// Recommend returns the top-1 recommendation for u per Eq. 2. It
+// returns ErrNoCandidates when no item is recommendable.
+func (r *Recommender) Recommend(u hin.NodeID) (hin.NodeID, error) {
+	top, err := r.TopN(u, 1)
+	if err != nil {
+		return hin.InvalidNode, err
+	}
+	return top[0].Node, nil
+}
+
+// TopN returns the n best-scoring candidate items for u in descending
+// score order (ties broken toward the lower node ID). Fewer than n
+// entries are returned when the graph has fewer candidates; zero
+// candidates is ErrNoCandidates.
+func (r *Recommender) TopN(u hin.NodeID, n int) ([]Scored, error) {
+	scores, err := r.Scores(u)
+	if err != nil {
+		return nil, err
+	}
+	var all []Scored
+	for v := range scores {
+		id := hin.NodeID(v)
+		if r.IsCandidate(u, id) {
+			all = append(all, Scored{Node: id, Score: scores[v]})
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("%w (user %d)", ErrNoCandidates, u)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n], nil
+}
+
+// RankOf returns the 1-based rank of item v in u's candidate ranking.
+// It returns ErrNotCandidate when v cannot be recommended to u.
+func (r *Recommender) RankOf(u, v hin.NodeID) (int, error) {
+	if !r.IsCandidate(u, v) {
+		return 0, fmt.Errorf("%w: user %d, node %d", ErrNotCandidate, u, v)
+	}
+	scores, err := r.Scores(u)
+	if err != nil {
+		return 0, err
+	}
+	rank := 1
+	sv := scores[v]
+	for x := range scores {
+		id := hin.NodeID(x)
+		if id == v || !r.IsCandidate(u, id) {
+			continue
+		}
+		if scores[x] > sv || (scores[x] == sv && id < v) {
+			rank++
+		}
+	}
+	return rank, nil
+}

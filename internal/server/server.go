@@ -1,0 +1,334 @@
+// Package server exposes the EMiGRe explainer as a small JSON-over-HTTP
+// service — the deployment shape a platform team would actually run the
+// paper's system in. Endpoints:
+//
+//	GET  /healthz    liveness probe
+//	GET  /stats      graph shape (the Table-4 rows) as JSON
+//	GET  /recommend  ?user=<label|id>&n=10 — the user's top-N list
+//	POST /explain    one Why-Not question (single item or group)
+//	POST /diagnose   §6.4 meta-explanation for an unanswerable question
+//
+// Nodes are addressed by label or numeric ID, exactly like the CLI.
+// Explanation requests are serialized through a mutex (each one runs
+// full PPR passes); read endpoints serve concurrently.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	emigre "github.com/why-not-xai/emigre"
+	"github.com/why-not-xai/emigre/internal/cli"
+)
+
+// Config wires a server to its graph and engine settings.
+type Config struct {
+	Graph *emigre.Graph
+	// Recommender must have been built over Graph.
+	Recommender *emigre.Recommender
+	// Explainer options (T_e, budgets, ...). Mode/Method fields are
+	// ignored: every request names its own.
+	Options emigre.Options
+}
+
+// Server handles the HTTP API. Create with New, mount via Handler.
+type Server struct {
+	g   *emigre.Graph
+	r   *emigre.Recommender
+	ex  *emigre.Explainer
+	mux *http.ServeMux
+	// explainMu serializes the expensive counterfactual searches.
+	explainMu sync.Mutex
+}
+
+// New builds a server and eagerly warms the recommender's flat
+// snapshot so later reads are safe to serve concurrently.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil || cfg.Recommender == nil {
+		return nil, errors.New("server: graph and recommender are required")
+	}
+	s := &Server{
+		g:  cfg.Graph,
+		r:  cfg.Recommender,
+		ex: emigre.NewExplainer(cfg.Graph, cfg.Recommender, cfg.Options),
+	}
+	s.r.Flat() // warm the shared snapshot before concurrency starts
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /diagnose", s.handleDiagnose)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps library errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, emigre.ErrNotWhyNotItem),
+		errors.Is(err, emigre.ErrAlreadyTop),
+		errors.Is(err, emigre.ErrEmptyGroup):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, emigre.ErrNoExplanation):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsRow struct {
+	NodeType  string  `json:"node_type"`
+	Nodes     int     `json:"nodes"`
+	AvgDegree float64 `json:"avg_degree"`
+	DegreeStd float64 `json:"degree_std"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var rows []statsRow
+	for _, r := range emigre.DegreeStats(s.g) {
+		rows = append(rows, statsRow{
+			NodeType:  r.TypeName,
+			Nodes:     r.NumNodes,
+			AvgDegree: r.AvgDegree,
+			DegreeStd: r.DegreeStd,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": s.g.NumNodes(),
+		"edges": s.g.NumEdges(),
+		"types": rows,
+	})
+}
+
+type scoredItem struct {
+	Node  emigre.NodeID `json:"node"`
+	Label string        `json:"label,omitempty"`
+	Score float64       `json:"score"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user, err := cli.ResolveNode(s.g, r.URL.Query().Get("user"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		if _, err := fmt.Sscanf(raw, "%d", &n); err != nil || n < 1 {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", raw))
+			return
+		}
+	}
+	top, err := s.r.TopN(user, n)
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	items := make([]scoredItem, len(top))
+	for i, sc := range top {
+		items[i] = scoredItem{Node: sc.Node, Label: s.g.Label(sc.Node), Score: sc.Score}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"user":  user,
+		"items": items,
+	})
+}
+
+// explainRequest is the /explain body. WNI or Items (group form) must
+// be set; Category asks the category granularity.
+type explainRequest struct {
+	User     string   `json:"user"`
+	WNI      string   `json:"wni,omitempty"`
+	Items    []string `json:"items,omitempty"`
+	Category string   `json:"category,omitempty"`
+	Mode     string   `json:"mode"`
+	Method   string   `json:"method"`
+}
+
+type edgeBody struct {
+	From      emigre.NodeID `json:"from"`
+	To        emigre.NodeID `json:"to"`
+	ToLabel   string        `json:"to_label,omitempty"`
+	EdgeType  string        `json:"edge_type"`
+	Weight    float64       `json:"weight"`
+	Operation string        `json:"operation"`
+}
+
+type explainResponse struct {
+	Mode        string        `json:"mode"`
+	Method      string        `json:"method"`
+	Edges       []edgeBody    `json:"edges"`
+	Description string        `json:"description"`
+	OldTop      emigre.NodeID `json:"old_top"`
+	NewTop      emigre.NodeID `json:"new_top"`
+	Verified    bool          `json:"verified"`
+	Checks      int           `json:"checks"`
+	DurationUS  int64         `json:"duration_us"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	user, err := cli.ResolveNode(s.g, req.User)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mode, err := cli.ParseMode(orDefault(req.Mode, "remove"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	method, err := cli.ParseMethod(orDefault(req.Method, "powerset"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	var expl *emigre.Explanation
+	s.explainMu.Lock()
+	switch {
+	case req.Category != "":
+		var cat emigre.NodeID
+		cat, err = cli.ResolveNode(s.g, req.Category)
+		if err == nil {
+			expl, err = s.ex.ExplainCategory(user, cat, 0, mode, method)
+		}
+	case len(req.Items) > 0:
+		var items []emigre.NodeID
+		for _, raw := range req.Items {
+			var id emigre.NodeID
+			id, err = cli.ResolveNode(s.g, raw)
+			if err != nil {
+				break
+			}
+			items = append(items, id)
+		}
+		if err == nil {
+			expl, err = s.ex.ExplainGroup(emigre.GroupQuery{User: user, Items: items}, mode, method)
+		}
+	case req.WNI != "":
+		var wni emigre.NodeID
+		wni, err = cli.ResolveNode(s.g, req.WNI)
+		if err == nil {
+			expl, err = s.ex.ExplainWith(emigre.Query{User: user, WNI: wni}, mode, method)
+		}
+	default:
+		err = errors.New("one of wni, items or category is required")
+		s.explainMu.Unlock()
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.explainMu.Unlock()
+	if err != nil {
+		status := statusFor(err)
+		if errors.Is(err, cli.ErrNoSuchNode) {
+			status = http.StatusBadRequest
+		}
+		s.writeErr(w, status, err)
+		return
+	}
+
+	resp := explainResponse{
+		Mode:        expl.Mode.String(),
+		Method:      expl.Method.String(),
+		Description: expl.Describe(s.g),
+		OldTop:      expl.OldTop,
+		NewTop:      expl.NewTop,
+		Verified:    expl.Verified,
+		Checks:      expl.Stats.Tests,
+		DurationUS:  expl.Stats.Duration.Microseconds(),
+	}
+	appendEdges := func(edges []emigre.Edge, op string) {
+		for _, e := range edges {
+			resp.Edges = append(resp.Edges, edgeBody{
+				From:      e.From,
+				To:        e.To,
+				ToLabel:   s.g.Label(e.To),
+				EdgeType:  s.g.Types().EdgeTypeName(e.Type),
+				Weight:    e.Weight,
+				Operation: op,
+			})
+		}
+	}
+	appendEdges(expl.Removals, "remove")
+	appendEdges(expl.Additions, "add")
+	appendEdges(expl.Reweights, "reweight")
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+type diagnoseRequest struct {
+	User string `json:"user"`
+	WNI  string `json:"wni"`
+	Mode string `json:"mode"`
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req diagnoseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	user, err := cli.ResolveNode(s.g, req.User)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wni, err := cli.ResolveNode(s.g, req.WNI)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mode, err := cli.ParseMode(orDefault(req.Mode, "remove"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.explainMu.Lock()
+	d, err := s.ex.Diagnose(emigre.Query{User: user, WNI: wni}, mode)
+	s.explainMu.Unlock()
+	if err != nil {
+		s.writeErr(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"kind":         d.Kind.String(),
+		"detail":       d.Detail,
+		"actions":      d.Actions,
+		"working_mode": d.WorkingMode.String(),
+	})
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

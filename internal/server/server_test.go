@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	emigre "github.com/why-not-xai/emigre"
+)
+
+func newTestServer(t *testing.T) (*Server, *emigre.Books) {
+	t.Helper()
+	books, err := emigre.NewBooks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := emigre.DefaultRecommenderConfig(books.Types.Item)
+	cfg.Beta = 1
+	r, err := emigre.NewRecommender(books.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Graph:       books.Graph,
+		Recommender: r,
+		Options: emigre.Options{
+			AllowedEdgeTypes: books.ActionEdgeTypes(),
+			AddEdgeType:      books.Types.Rated,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, books
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rec := do(t, srv.Handler(), "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv, books := newTestServer(t)
+	rec := do(t, srv.Handler(), "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Nodes int `json:"nodes"`
+		Edges int `json:"edges"`
+		Types []struct {
+			NodeType string `json:"node_type"`
+			Nodes    int    `json:"nodes"`
+		} `json:"types"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Nodes != books.Graph.NumNodes() || body.Edges != books.Graph.NumEdges() {
+		t.Fatalf("stats wrong: %+v", body)
+	}
+	if len(body.Types) != 3 {
+		t.Fatalf("type rows = %d, want 3", len(body.Types))
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	srv, books := newTestServer(t)
+	rec := do(t, srv.Handler(), "GET", "/recommend?user=Paul&n=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Items []struct {
+			Label string  `json:"label"`
+			Score float64 `json:"score"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Items) != 3 || body.Items[0].Label != "Python" {
+		t.Fatalf("recommendations wrong: %+v", body)
+	}
+	_ = books
+	// Bad inputs.
+	if rec := do(t, srv.Handler(), "GET", "/recommend?user=Nobody", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown user status = %d", rec.Code)
+	}
+	if rec := do(t, srv.Handler(), "GET", "/recommend?user=Paul&n=-2", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad n status = %d", rec.Code)
+	}
+}
+
+func TestExplainSingle(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rec := do(t, srv.Handler(), "POST", "/explain", map[string]any{
+		"user": "Paul", "wni": "Harry Potter", "mode": "remove", "method": "powerset",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Edges) != 2 || !body.Verified {
+		t.Fatalf("explanation wrong: %+v", body)
+	}
+	for _, e := range body.Edges {
+		if e.Operation != "remove" {
+			t.Fatalf("operation = %q, want remove", e.Operation)
+		}
+		if e.ToLabel != "Candide" && e.ToLabel != "C" {
+			t.Fatalf("unexpected edge target %q", e.ToLabel)
+		}
+	}
+	if !strings.Contains(body.Description, "Harry Potter") {
+		t.Fatalf("description = %q", body.Description)
+	}
+}
+
+func TestExplainGroupAndCategory(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rec := do(t, srv.Handler(), "POST", "/explain", map[string]any{
+		"user": "Paul", "items": []string{"Harry Potter", "The Hobbit"}, "mode": "add",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("group status = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = do(t, srv.Handler(), "POST", "/explain", map[string]any{
+		"user": "Paul", "category": "Fantasy", "mode": "add",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("category status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"no target", map[string]any{"user": "Paul"}, http.StatusBadRequest},
+		{"bad json", nil, http.StatusBadRequest},
+		{"unknown user", map[string]any{"user": "Nobody", "wni": "C"}, http.StatusBadRequest},
+		{"unknown wni", map[string]any{"user": "Paul", "wni": "Nothing"}, http.StatusBadRequest},
+		{"bad mode", map[string]any{"user": "Paul", "wni": "Harry Potter", "mode": "sideways"}, http.StatusBadRequest},
+		{"bad method", map[string]any{"user": "Paul", "wni": "Harry Potter", "method": "magic"}, http.StatusBadRequest},
+		{"already top", map[string]any{"user": "Paul", "wni": "Python"}, http.StatusUnprocessableEntity},
+		{"interacted item", map[string]any{"user": "Paul", "wni": "Candide"}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rec *httptest.ResponseRecorder
+			if tc.body == nil {
+				req := httptest.NewRequest("POST", "/explain", strings.NewReader("{nope"))
+				rec = httptest.NewRecorder()
+				srv.Handler().ServeHTTP(rec, req)
+			} else {
+				rec = do(t, srv.Handler(), "POST", "/explain", tc.body)
+			}
+			if rec.Code != tc.want {
+				t.Fatalf("status = %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestExplainNoExplanationIs404(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// "Why not The Hobbit" in remove mode has no answer on the books
+	// graph (Harry Potter and others intercept).
+	rec := do(t, srv.Handler(), "POST", "/explain", map[string]any{
+		"user": "Paul", "wni": "The Hobbit", "mode": "remove", "method": "exhaustive",
+	})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDiagnoseEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rec := do(t, srv.Handler(), "POST", "/diagnose", map[string]any{
+		"user": "Paul", "wni": "The Hobbit", "mode": "remove",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Kind        string `json:"kind"`
+		WorkingMode string `json:"working_mode"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Kind != "out-of-scope" {
+		t.Fatalf("kind = %q, want out-of-scope", body.Kind)
+	}
+	if rec := do(t, srv.Handler(), "POST", "/diagnose", map[string]any{"user": "Nobody", "wni": "C"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown user status = %d", rec.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if rec := do(t, srv.Handler(), "GET", "/explain", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /explain status = %d, want 405", rec.Code)
+	}
+	if rec := do(t, srv.Handler(), "POST", "/stats", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status = %d, want 405", rec.Code)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing graph should error")
+	}
+}
