@@ -6,6 +6,7 @@
 // Endpoints (JSON):
 //
 //	GET  /healthz
+//	GET  /readyz
 //	GET  /stats
 //	GET  /recommend?user=Paul&n=10
 //	POST /explain   {"user":"Paul","wni":"Harry Potter","mode":"remove","method":"powerset"}
@@ -15,9 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	emigre "github.com/why-not-xai/emigre"
@@ -39,6 +45,15 @@ func main() {
 		epsilon   = flag.Float64("epsilon", 2.7e-8, "local-push residual threshold")
 		beta      = flag.Float64("beta", 1, "transition mix: 1=weighted walk, 0=uniform")
 		maxTests  = flag.Int("max-tests", 200, "CHECK budget per explanation request")
+
+		explainTimeout = flag.Duration("explain-timeout", server.DefaultExplainTimeout,
+			"deadline per /explain or /diagnose request (0 = no deadline)")
+		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent,
+			"units of explanation work allowed to run at once")
+		queueDepth = flag.Int("queue-depth", server.DefaultQueueDepth,
+			"requests allowed to wait for a slot before 503 (0 = no queue)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -65,6 +80,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The flag reads "0 = disabled"; Config reads "0 = default,
+	// negative = disabled". Same for the queue depth.
+	timeout := *explainTimeout
+	if timeout == 0 {
+		timeout = -1
+	}
+	queue := *queueDepth
+	if queue == 0 {
+		queue = -1
+	}
 	srv, err := server.New(server.Config{
 		Graph:       g,
 		Recommender: r,
@@ -73,6 +98,9 @@ func main() {
 			AddEdgeType:      addIDs[0],
 			MaxTests:         *maxTests,
 		},
+		ExplainTimeout: timeout,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     queue,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,5 +111,29 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpServer.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain: flip /readyz to 503 so
+	// load balancers stop sending traffic, and give in-flight
+	// explanations up to -drain-timeout to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received, draining (up to %v)", *drainTimeout)
+		srv.SetDraining()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Print("drained cleanly")
+	}
 }

@@ -41,6 +41,7 @@ func main() {
 		topn      = flag.Int("topn", 10, "print the user's top-N list")
 		rank      = flag.Int("rank", 1, "success criterion: place the item within the top-RANK")
 		diagnose  = flag.Bool("diagnose", false, "classify the failure instead of explaining (§6.4)")
+		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *userArg == "" || *wniArg == "" {
@@ -109,21 +110,32 @@ func main() {
 	}
 	fmt.Printf("\nWhy not %s?\n\n", cli.NodeName(g, wni))
 
+	ctx, cancel := cli.Deadline(*timeout)
+	defer cancel()
+
 	q := emigre.Query{User: user, WNI: wni}
 	if *diagnose {
-		d, err := ex.Diagnose(q, mode)
+		d, err := ex.DiagnoseContext(ctx, q, mode)
 		if err != nil {
+			if errors.Is(err, emigre.ErrCanceled) {
+				log.Fatalf("diagnosis aborted after %v: raise -timeout to let the probes finish", *timeout)
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("diagnosis: %s\n  %s\n", d.Kind, d.Detail)
 		return
 	}
 
-	expl, err := ex.ExplainWith(q, mode, method)
+	expl, err := ex.ExplainWithContext(ctx, q, mode, method)
 	if err != nil {
 		if errors.Is(err, emigre.ErrNoExplanation) {
 			fmt.Printf("no explanation found in %s mode; rerun with -diagnose for the reason\n", mode)
 			return
+		}
+		var ce *emigre.CanceledError
+		if errors.As(err, &ce) {
+			log.Fatalf("search aborted after %v (%d checks done): raise -timeout or try -method incremental",
+				*timeout, ce.Stats.Tests)
 		}
 		log.Fatal(err)
 	}

@@ -216,7 +216,16 @@ var (
 	ErrAlreadyTop = core.ErrAlreadyTop
 	// ErrNotWhyNotItem reports a Definition-4.1 violation.
 	ErrNotWhyNotItem = core.ErrNotWhyNotItem
+	// ErrCanceled reports a search stopped by context cancellation or
+	// deadline expiry (returned by the *Context entry points, e.g.
+	// Explainer.ExplainContext, as a *CanceledError).
+	ErrCanceled = core.ErrCanceled
 )
+
+// CanceledError is the concrete error behind ErrCanceled: it wraps the
+// context's own error and carries the partial ExplainStats accumulated
+// before the search was interrupted.
+type CanceledError = core.CanceledError
 
 // NewExplainer builds a Why-Not explainer over g and its recommender.
 func NewExplainer(g *Graph, r *Recommender, opts Options) *Explainer {

@@ -5,15 +5,27 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	emigre "github.com/why-not-xai/emigre"
 )
+
+// Deadline builds the context for one command-line run: bounded by d
+// when d > 0, unbounded otherwise. The cancel func must always be
+// called.
+func Deadline(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
+}
 
 // LoadGraph opens a graph file written by emigre-gen (JSON or TSV by
 // extension), or builds the named preset ("books").

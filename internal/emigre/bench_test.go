@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -34,7 +35,7 @@ func BenchmarkSearchSpaceDefinition(b *testing.B) {
 			f := newBenchFixture(b, Options{})
 			q := f.query()
 			for i := 0; i < b.N; i++ {
-				if _, err := f.ex.newSession(q, mode); err != nil {
+				if _, err := f.ex.newSession(context.Background(), q, mode); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -27,6 +27,9 @@ func (s *session) bruteForce() (*Explanation, error) {
 	}
 	budgetHit := false
 	for size := 1; size <= maxSize && !budgetHit; size++ {
+		if err := s.canceled(); err != nil {
+			return nil, err
+		}
 		var stop error
 		combinations(len(h), size, func(idx []int) bool {
 			s.stats.CombosExamined++

@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"strings"
@@ -53,15 +54,15 @@ func TestCombinedBruteForceRejected(t *testing.T) {
 
 func TestCombinedSearchSpaceIsUnion(t *testing.T) {
 	f := newFixture(t, Options{})
-	sr, err := f.ex.newSession(f.query(), Remove)
+	sr, err := f.ex.newSession(context.Background(), f.query(), Remove)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa, err := f.ex.newSession(f.query(), Add)
+	sa, err := f.ex.newSession(context.Background(), f.query(), Add)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, err := f.ex.newSession(f.query(), Combined)
+	sc, err := f.ex.newSession(context.Background(), f.query(), Combined)
 	if err != nil {
 		t.Fatal(err)
 	}

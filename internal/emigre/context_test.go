@@ -1,0 +1,135 @@
+package emigre
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// countingCtx is a context whose Err starts failing after a set number
+// of polls. The search loops only ever poll Err (never Done), so this
+// deterministically injects a cancellation at an exact point mid-search
+// without any goroutines or timing.
+type countingCtx struct {
+	context.Context
+	calls       int
+	cancelAfter int // Err returns context.Canceled from this call on; 0 = never
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.cancelAfter > 0 && c.calls >= c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return nil }
+
+func canceledContext() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestExplainContextPreCanceled(t *testing.T) {
+	f := newFixture(t, Options{})
+	for _, mode := range []Mode{Remove, Add, Combined} {
+		for _, method := range allMethods(mode) {
+			expl, err := f.ex.ExplainWithContext(canceledContext(), f.query(), mode, method)
+			if expl != nil {
+				t.Fatalf("%v/%v: got explanation despite canceled ctx", mode, method)
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("%v/%v: err = %v, want ErrCanceled", mode, method, err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v/%v: err = %v, want to match context.Canceled too", mode, method, err)
+			}
+		}
+	}
+}
+
+// TestExplainContextMidSearch cancels exactly at the last context poll
+// a successful search would have made, proving the loops notice a
+// cancellation that arrives while the search is underway — not just one
+// present at entry — and report the work done so far.
+func TestExplainContextMidSearch(t *testing.T) {
+	f := newFixture(t, Options{})
+	q := f.query()
+	for _, method := range []Method{Powerset, Exhaustive} {
+		t.Run(method.String(), func(t *testing.T) {
+			full := &countingCtx{Context: context.Background()}
+			expl, err := f.ex.ExplainWithContext(full, q, Remove, method)
+			if err != nil {
+				t.Fatalf("full run: %v", err)
+			}
+			if full.calls < 2 {
+				t.Fatalf("full run polled ctx only %d times; cannot cancel mid-search", full.calls)
+			}
+
+			// Cancel exactly at the final poll of the successful run: the
+			// search is underway and must abort instead of finishing.
+			mid := &countingCtx{Context: context.Background(), cancelAfter: full.calls}
+			_, err = f.ex.ExplainWithContext(mid, q, Remove, method)
+			if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+			}
+			var ce *CanceledError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *CanceledError", err)
+			}
+			if ce.Stats.Duration <= 0 {
+				t.Fatalf("partial stats missing duration: %+v", ce.Stats)
+			}
+			if ce.Stats.Tests > expl.Stats.Tests {
+				t.Fatalf("partial run counted %d checks, full run only %d",
+					ce.Stats.Tests, expl.Stats.Tests)
+			}
+		})
+	}
+}
+
+func TestDiagnoseContextCanceled(t *testing.T) {
+	f := newFixture(t, Options{})
+	if _, err := f.ex.DiagnoseContext(canceledContext(), f.query(), Remove); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestExplainGroupContextCanceled(t *testing.T) {
+	f := newFixture(t, Options{})
+	gq := GroupQuery{User: f.ids["u"], Items: []hin.NodeID{f.ids["f2"], f.ids["f3"]}}
+	if _, err := f.ex.ExplainGroupContext(canceledContext(), gq, Remove, Powerset); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestExplainContextDeadline runs a real deadline through the public
+// API: an already-expired timeout must surface as ErrCanceled wrapping
+// context.DeadlineExceeded (what the server maps to 504).
+func TestExplainContextDeadline(t *testing.T) {
+	f := newFixture(t, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	_, err := f.ex.ExplainWithContext(ctx, f.query(), Remove, Powerset)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestExplainDelegatesToContext pins the compatibility contract: the
+// original entry points still work and never report cancellation.
+func TestExplainDelegatesToContext(t *testing.T) {
+	f := newFixture(t, Options{})
+	expl, err := f.ex.ExplainWith(f.query(), Remove, Powerset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl.Size() == 0 {
+		t.Fatal("empty explanation")
+	}
+}

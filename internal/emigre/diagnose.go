@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -68,10 +69,17 @@ const DefaultColdStartThreshold = 5
 // the most complete one. Query-validation errors (ErrNotWhyNotItem,
 // ErrAlreadyTop) are returned unchanged.
 func (e *Explainer) Diagnose(q Query, probed Mode) (*Diagnosis, error) {
-	if _, err := e.newSession(q, probed); err != nil {
+	return e.DiagnoseContext(context.Background(), q, probed)
+}
+
+// DiagnoseContext is Diagnose with cancellation: the probes — each a
+// full Exhaustive search — abort with a *CanceledError once ctx is
+// done, so a diagnosis is never mis-classified from a half-run probe.
+func (e *Explainer) DiagnoseContext(ctx context.Context, q Query, probed Mode) (*Diagnosis, error) {
+	if _, err := e.newSession(ctx, q, probed); err != nil {
 		return nil, err
 	}
-	if _, err := e.ExplainWith(q, probed, Exhaustive); err == nil {
+	if _, err := e.ExplainWithContext(ctx, q, probed, Exhaustive); err == nil {
 		return &Diagnosis{Kind: FailureNone, Detail: "the question is answerable in this mode"}, nil
 	} else if !errors.Is(err, ErrNoExplanation) {
 		return nil, err
@@ -83,13 +91,17 @@ func (e *Explainer) Diagnose(q Query, probed Mode) (*Diagnosis, error) {
 		if other == probed {
 			continue
 		}
-		if _, err := e.ExplainWith(q, other, Exhaustive); err == nil {
+		_, err := e.ExplainWithContext(ctx, q, other, Exhaustive)
+		if err == nil {
 			return &Diagnosis{
 				Kind:        FailureOutOfScope,
 				Actions:     actions,
 				WorkingMode: other,
 				Detail:      fmt.Sprintf("out of scope for %s mode: %s mode answers it", probed, other),
 			}, nil
+		}
+		if errors.Is(err, ErrCanceled) {
+			return nil, err
 		}
 	}
 	if actions <= DefaultColdStartThreshold {
@@ -100,7 +112,7 @@ func (e *Explainer) Diagnose(q Query, probed Mode) (*Diagnosis, error) {
 		}, nil
 	}
 	inDeg := 0
-	current, err := e.r.Recommend(q.User)
+	current, err := e.r.RecommendContext(ctx, q.User)
 	if err == nil {
 		inDeg = e.g.InDegree(current)
 	}

@@ -32,6 +32,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -133,7 +134,51 @@ var (
 	// ErrBudgetExhausted wraps ErrNoExplanation when a search budget
 	// (MaxTests, MaxCombinationSize, ...) stopped the search early.
 	ErrBudgetExhausted = errors.New("emigre: search budget exhausted")
+	// ErrCanceled is returned by the Context entry points when the
+	// search was stopped by context cancellation or deadline expiry
+	// before its space was exhausted. The concrete error is a
+	// *CanceledError carrying the partial Stats; errors.Is also matches
+	// the underlying context error (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCanceled = errors.New("emigre: search canceled")
 )
+
+// CanceledError reports a search interrupted by its context. It wraps
+// both ErrCanceled and the context's own error, and carries the work
+// statistics accumulated up to the interruption so callers can observe
+// how far a timed-out search got.
+type CanceledError struct {
+	// Stats is the partial per-query work tally at cancellation time.
+	Stats Stats
+	// Cause is the context error that stopped the search.
+	Cause error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("%v after %d checks: %v", ErrCanceled, e.Stats.Tests, e.Cause)
+}
+
+// Unwrap exposes ErrCanceled and the context error to errors.Is.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
+// wrapCtxErr converts a raw context error surfacing from a PPR engine
+// or recommender call into a *CanceledError carrying the given partial
+// stats. Errors that already are CanceledError, and non-context errors,
+// pass through unchanged.
+func wrapCtxErr(err error, stats Stats) error {
+	if err == nil {
+		return nil
+	}
+	var ce *CanceledError
+	if errors.As(err, &ce) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &CanceledError{Stats: stats, Cause: err}
+	}
+	return err
+}
 
 // Options configures an Explainer.
 type Options struct {
@@ -363,21 +408,35 @@ func (e *Explainer) Options() Options { return e.opts }
 // Explain answers the query with the explainer's configured mode and
 // method.
 func (e *Explainer) Explain(q Query) (*Explanation, error) {
-	return e.ExplainWith(q, e.opts.Mode, e.opts.Method)
+	return e.ExplainContext(context.Background(), q)
+}
+
+// ExplainContext is Explain with cancellation: the search — including
+// every PPR pass it triggers — aborts once ctx is canceled or its
+// deadline passes, returning a *CanceledError that wraps ErrCanceled
+// and carries the partial Stats.
+func (e *Explainer) ExplainContext(ctx context.Context, q Query) (*Explanation, error) {
+	return e.ExplainWithContext(ctx, q, e.opts.Mode, e.opts.Method)
 }
 
 // ExplainWith answers the query with an explicit mode and method,
 // overriding the configured defaults.
 func (e *Explainer) ExplainWith(q Query, mode Mode, method Method) (*Explanation, error) {
-	return e.explain(q, nil, mode, method)
+	return e.ExplainWithContext(context.Background(), q, mode, method)
+}
+
+// ExplainWithContext is ExplainWith with cancellation (see
+// ExplainContext for the semantics).
+func (e *Explainer) ExplainWithContext(ctx context.Context, q Query, mode Mode, method Method) (*Explanation, error) {
+	return e.explain(ctx, q, nil, mode, method)
 }
 
 // explain runs one attempt. accept, when non-nil, widens the success
 // criterion of the CHECK step to "the new top-1 is any member of
 // accept" — the group-granularity semantics of ExplainGroup.
-func (e *Explainer) explain(q Query, accept map[hin.NodeID]bool, mode Mode, method Method) (*Explanation, error) {
+func (e *Explainer) explain(ctx context.Context, q Query, accept map[hin.NodeID]bool, mode Mode, method Method) (*Explanation, error) {
 	start := time.Now()
-	s, err := e.newSession(q, mode)
+	s, err := e.newSession(ctx, q, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +460,12 @@ func (e *Explainer) explain(q Query, accept map[hin.NodeID]bool, mode Mode, meth
 		return nil, fmt.Errorf("emigre: unknown method %v", method)
 	}
 	if err != nil {
+		// Stamp the elapsed time into the partial stats of a canceled
+		// search so a 504 handler can report how long it actually ran.
+		var ce *CanceledError
+		if errors.As(err, &ce) {
+			ce.Stats.Duration = time.Since(start)
+		}
 		return nil, err
 	}
 	expl.Query = q
@@ -424,7 +489,12 @@ func (e *Explainer) CurrentRecommendation(u hin.NodeID) (hin.NodeID, error) {
 // the top-1 recommendation. It is used by the evaluation harness to
 // audit ExhaustiveDirect results.
 func (e *Explainer) Verify(expl *Explanation) (bool, error) {
-	s, err := e.newSession(expl.Query, expl.Mode)
+	return e.VerifyContext(context.Background(), expl)
+}
+
+// VerifyContext is Verify with cancellation.
+func (e *Explainer) VerifyContext(ctx context.Context, expl *Explanation) (bool, error) {
+	s, err := e.newSession(ctx, expl.Query, expl.Mode)
 	if err != nil {
 		return false, err
 	}
@@ -451,7 +521,11 @@ func (e *Explainer) Verify(expl *Explanation) (bool, error) {
 
 // session carries the per-query state shared by the strategies.
 type session struct {
-	ex    *Explainer
+	ex *Explainer
+	// ctx cancels the search; the strategies poll it at their loop
+	// boundaries and every CHECK, and the PPR engines poll it inside
+	// their own iteration loops.
+	ctx   context.Context
 	q     Query
 	mode  Mode
 	rec   hin.NodeID // current top-1 recommendation
@@ -482,7 +556,7 @@ type candidate struct {
 	transDelta float64
 }
 
-func (e *Explainer) newSession(q Query, mode Mode) (*session, error) {
+func (e *Explainer) newSession(ctx context.Context, q Query, mode Mode) (*session, error) {
 	if q.User < 0 || int(q.User) >= e.g.NumNodes() || q.WNI < 0 || int(q.WNI) >= e.g.NumNodes() {
 		return nil, fmt.Errorf("%w: node out of range", ErrNotWhyNotItem)
 	}
@@ -490,30 +564,30 @@ func (e *Explainer) newSession(q Query, mode Mode) (*session, error) {
 		return nil, fmt.Errorf("%w: node %d is not a recommendable item for user %d (Definition 4.1 requires an item the user has not interacted with)",
 			ErrNotWhyNotItem, q.WNI, q.User)
 	}
-	current, err := e.r.Recommend(q.User)
+	current, err := e.r.RecommendContext(ctx, q.User)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err, Stats{})
 	}
 	if current == q.WNI {
 		return nil, fmt.Errorf("%w: item %d", ErrAlreadyTop, q.WNI)
 	}
 	if k := e.opts.TargetRank; k > 1 {
-		rank, err := e.r.RankOf(q.User, q.WNI)
+		rank, err := e.r.RankOfContext(ctx, q.User, q.WNI)
 		if err != nil {
-			return nil, err
+			return nil, wrapCtxErr(err, Stats{})
 		}
 		if rank <= k {
 			return nil, fmt.Errorf("%w: item %d already at rank %d ≤ target %d", ErrAlreadyTop, q.WNI, rank, k)
 		}
 	}
-	s := &session{ex: e, q: q, mode: mode, rec: current, view: e.r.Flat()}
-	s.toRec, err = e.rev.ToTarget(s.view, current)
+	s := &session{ex: e, ctx: ctx, q: q, mode: mode, rec: current, view: e.r.Flat()}
+	s.toRec, err = e.rev.ToTargetContext(ctx, s.view, current)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err, Stats{})
 	}
-	s.toWNI, err = e.rev.ToTarget(s.view, q.WNI)
+	s.toWNI, err = e.rev.ToTargetContext(ctx, s.view, q.WNI)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err, Stats{})
 	}
 	if err := s.defineSearchSpace(); err != nil {
 		return nil, err
@@ -537,10 +611,30 @@ func splitOps(cands []candidate) (removals, additions, reweights []hin.Edge) {
 	return removals, additions, reweights
 }
 
+// canceled reports a pending cancellation of the session's context as
+// a *CanceledError carrying the partial stats; nil when the search may
+// continue. Strategies poll it at their loop boundaries.
+func (s *session) canceled() error {
+	if s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return &CanceledError{Stats: s.stats, Cause: err}
+	}
+	return nil
+}
+
+// wrapCtx tags a context error that surfaced from a nested PPR or
+// recommender call with the session's partial stats.
+func (s *session) wrapCtx(err error) error { return wrapCtxErr(err, s.stats) }
+
 // check is the paper's CHECK/TEST step: apply the candidate selection
 // as an overlay and re-run the recommender. It reports whether WNI
 // became the top-1 recommendation, and what the new top-1 is.
 func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
+	if err := s.canceled(); err != nil {
+		return false, hin.InvalidNode, err
+	}
 	if s.stats.Tests >= s.ex.opts.MaxTests {
 		return false, hin.InvalidNode, fmt.Errorf("%w: %d CHECK invocations", ErrBudgetExhausted, s.stats.Tests)
 	}
@@ -561,7 +655,7 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 	if s.ex.opts.DynamicCheck {
 		ok, _, err := s.dynamicCheck(r2)
 		if err != nil {
-			return false, hin.InvalidNode, err
+			return false, hin.InvalidNode, s.wrapCtx(err)
 		}
 		if !ok {
 			// Fast rejection: the overwhelming majority of CHECK calls
@@ -572,12 +666,12 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 		// explanations stay sound even on tolerance-level near-ties.
 	}
 	k := s.ex.opts.TargetRank
-	list, err := r2.TopN(s.q.User, k)
+	list, err := r2.TopNContext(s.ctx, s.q.User, k)
 	if err != nil {
 		if errors.Is(err, rec.ErrNoCandidates) {
 			return false, hin.InvalidNode, nil
 		}
-		return false, hin.InvalidNode, err
+		return false, hin.InvalidNode, s.wrapCtx(err)
 	}
 	for _, sc := range list {
 		if s.accepted(sc.Node) {
@@ -602,12 +696,12 @@ func (s *session) dynamicCheck(r2 *rec.Recommender) (bool, hin.NodeID, error) {
 	view := r2.ScoringView()
 	if s.dyn == nil {
 		var err error
-		s.dyn, err = ppr.NewDynamicForwardPush(s.ex.r.Config().PPR, s.ex.r.View(), s.q.User)
+		s.dyn, err = ppr.NewDynamicForwardPushContext(s.ctx, s.ex.r.Config().PPR, s.ex.r.View(), s.q.User)
 		if err != nil {
 			return false, hin.InvalidNode, err
 		}
 	}
-	if err := s.dyn.Update(view, s.q.User); err != nil {
+	if err := s.dyn.UpdateContext(s.ctx, view, s.q.User); err != nil {
 		return false, hin.InvalidNode, err
 	}
 	est := s.dyn.Estimates()

@@ -90,6 +90,9 @@ func (s *session) exhaustive(withCheck bool) (*Explanation, error) {
 	// of them, so up to k−1 negative-slack columns are tolerated.
 	allowedMisses := s.ex.opts.TargetRank - 1
 	for size := 1; size <= maxSize; size++ {
+		if err := s.canceled(); err != nil {
+			return nil, err
+		}
 		var survivors []survivor
 		combinations(len(h), size, func(idx []int) bool {
 			s.stats.CombosExamined++
@@ -181,9 +184,9 @@ func comboContainsAddedEndpoint(h []candidate, idx []int, t hin.NodeID) bool {
 // excluding WNI (the paper's recommendation list with the Why-Not item
 // removed, as in the running example).
 func (s *session) exhaustiveTargets() ([]hin.NodeID, error) {
-	top, err := s.ex.r.TopN(s.q.User, s.ex.opts.TopKTargets+1)
+	top, err := s.ex.r.TopNContext(s.ctx, s.q.User, s.ex.opts.TopKTargets+1)
 	if err != nil {
-		return nil, err
+		return nil, s.wrapCtx(err)
 	}
 	targets := make([]hin.NodeID, 0, s.ex.opts.TopKTargets)
 	for _, sc := range top {
@@ -207,9 +210,9 @@ func (s *session) targetColumns(targets []hin.NodeID) ([]ppr.Vector, error) {
 			cols[k] = s.toRec
 			continue
 		}
-		col, err := s.ex.rev.ToTarget(s.view, t)
+		col, err := s.ex.rev.ToTargetContext(s.ctx, s.view, t)
 		if err != nil {
-			return nil, err
+			return nil, s.wrapCtx(err)
 		}
 		cols[k] = col
 	}

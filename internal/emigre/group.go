@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,7 +32,14 @@ var ErrEmptyGroup = errors.New("emigre: group query has no valid Why-Not item")
 // seeded on one member may legitimately end up promoting another, and
 // that counts as success.
 func (e *Explainer) ExplainGroup(q GroupQuery, mode Mode, method Method) (*Explanation, error) {
-	members, err := e.validGroupMembers(q)
+	return e.ExplainGroupContext(context.Background(), q, mode, method)
+}
+
+// ExplainGroupContext is ExplainGroup with cancellation: the context is
+// polled between member attempts and inside each attempt's search, so a
+// canceled group query stops mid-member with a *CanceledError.
+func (e *Explainer) ExplainGroupContext(ctx context.Context, q GroupQuery, mode Mode, method Method) (*Explanation, error) {
+	members, err := e.validGroupMembers(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -41,7 +49,7 @@ func (e *Explainer) ExplainGroup(q GroupQuery, mode Mode, method Method) (*Expla
 	}
 	var firstErr error
 	for _, m := range members {
-		expl, err := e.explain(Query{User: q.User, WNI: m}, set, mode, method)
+		expl, err := e.explain(ctx, Query{User: q.User, WNI: m}, set, mode, method)
 		if err == nil {
 			expl.Group = members
 			return expl, nil
@@ -66,6 +74,12 @@ func (e *Explainer) ExplainGroup(q GroupQuery, mode Mode, method Method) (*Expla
 // become the Why-Not group, capped to the maxItems best-scoring ones
 // (0 = no cap) to bound the attempts.
 func (e *Explainer) ExplainCategory(user, category hin.NodeID, maxItems int, mode Mode, method Method) (*Explanation, error) {
+	return e.ExplainCategoryContext(context.Background(), user, category, maxItems, mode, method)
+}
+
+// ExplainCategoryContext is ExplainCategory with cancellation (see
+// ExplainGroupContext).
+func (e *Explainer) ExplainCategoryContext(ctx context.Context, user, category hin.NodeID, maxItems int, mode Mode, method Method) (*Explanation, error) {
 	if category < 0 || int(category) >= e.g.NumNodes() {
 		return nil, fmt.Errorf("%w: category node %d out of range", ErrNotWhyNotItem, category)
 	}
@@ -84,30 +98,30 @@ func (e *Explainer) ExplainCategory(user, category hin.NodeID, maxItems int, mod
 		return nil, fmt.Errorf("%w: node %d has no item neighbors (is it a category?)", ErrEmptyGroup, category)
 	}
 	q := GroupQuery{User: user, Items: items}
-	members, err := e.validGroupMembers(q)
+	members, err := e.validGroupMembers(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	if maxItems > 0 && len(members) > maxItems {
 		members = members[:maxItems] // validGroupMembers sorts by score
 	}
-	return e.ExplainGroup(GroupQuery{User: user, Items: members}, mode, method)
+	return e.ExplainGroupContext(ctx, GroupQuery{User: user, Items: members}, mode, method)
 }
 
 // validGroupMembers filters the group per Definition 4.1 and orders it
 // by descending current score. It returns ErrAlreadyTop when a member
 // already is the recommendation.
-func (e *Explainer) validGroupMembers(q GroupQuery) ([]hin.NodeID, error) {
+func (e *Explainer) validGroupMembers(ctx context.Context, q GroupQuery) ([]hin.NodeID, error) {
 	if len(q.Items) == 0 {
 		return nil, ErrEmptyGroup
 	}
-	current, err := e.r.Recommend(q.User)
+	current, err := e.r.RecommendContext(ctx, q.User)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err, Stats{})
 	}
-	scores, err := e.r.Scores(q.User)
+	scores, err := e.r.ScoresContext(ctx, q.User)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err, Stats{})
 	}
 	seen := make(map[hin.NodeID]bool, len(q.Items))
 	var members []hin.NodeID

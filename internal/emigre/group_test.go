@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -154,7 +155,7 @@ func TestGroupCheckAcceptsAnyMemberMidSearch(t *testing.T) {
 	// Directly exercise the widened CHECK: a session seeded on f3 with
 	// accept={f2,f3} must report success for an edit that promotes f2.
 	f := newFixture(t, Options{})
-	s, err := f.ex.newSession(Query{User: f.ids["u"], WNI: f.ids["f3"]}, Remove)
+	s, err := f.ex.newSession(context.Background(), Query{User: f.ids["u"], WNI: f.ids["f3"]}, Remove)
 	if err != nil {
 		t.Fatal(err)
 	}

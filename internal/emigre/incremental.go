@@ -14,6 +14,9 @@ func (s *session) incremental() (*Explanation, error) {
 	var selected []candidate
 	tau := s.tau
 	for _, cand := range s.cands {
+		if err := s.canceled(); err != nil {
+			return nil, err
+		}
 		// Negative contributions cannot help WNI (Eq. 5/6 discussion);
 		// the list is sorted, so everything after is non-positive too.
 		if cand.contribution <= 0 {

@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"testing"
 
 	"github.com/why-not-xai/emigre/internal/hin"
@@ -27,7 +28,7 @@ func TestExhaustiveCandidateCap(t *testing.T) {
 	// space larger than it; the exhaustive candidate list must be capped
 	// to the strongest |contribution| entries and stay sorted.
 	f := newFixture(t, Options{MaxSearchSpace: 2})
-	s, err := f.ex.newSession(f.query(), Add)
+	s, err := f.ex.newSession(context.Background(), f.query(), Add)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,9 @@ func (s *session) powerset() (*Explanation, error) {
 		total float64
 	}
 	for size := 1; size <= maxSize; size++ {
+		if err := s.canceled(); err != nil {
+			return nil, err
+		}
 		combos := make([]combo, 0, binomial(len(h), size))
 		combinations(len(h), size, func(idx []int) bool {
 			var total float64

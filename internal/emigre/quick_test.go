@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -108,7 +109,7 @@ func TestQuickTauEqualsContributionSum(t *testing.T) {
 		if err != nil || len(top) < 2 {
 			return true // no scenario, vacuously fine
 		}
-		s, err := ex.newSession(Query{User: u, WNI: top[len(top)-1].Node}, Remove)
+		s, err := ex.newSession(context.Background(), Query{User: u, WNI: top[len(top)-1].Node}, Remove)
 		if err != nil {
 			return true
 		}

@@ -1,6 +1,7 @@
 package emigre
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -77,7 +78,7 @@ func TestReweightNoCandidatesAtTarget(t *testing.T) {
 	// search space must be empty and the explainer must report a clean
 	// miss.
 	f := newFixture(t, Options{ReweightTo: 1})
-	s, err := f.ex.newSession(f.query(), Reweight)
+	s, err := f.ex.newSession(context.Background(), f.query(), Reweight)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ppr
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/why-not-xai/emigre/internal/hin"
@@ -34,7 +35,13 @@ type DynamicForwardPush struct {
 // NewDynamicForwardPush runs a full forward push on g and returns the
 // maintained state.
 func NewDynamicForwardPush(params Params, g hin.View, s hin.NodeID) (*DynamicForwardPush, error) {
-	res, err := NewForwardPush(params).Run(g, s)
+	return NewDynamicForwardPushContext(context.Background(), params, g, s)
+}
+
+// NewDynamicForwardPushContext is NewDynamicForwardPush with
+// cancellation of the initial full push.
+func NewDynamicForwardPushContext(ctx context.Context, params Params, g hin.View, s hin.NodeID) (*DynamicForwardPush, error) {
+	res, err := NewForwardPush(params).RunContext(ctx, g, s)
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +65,13 @@ func (d *DynamicForwardPush) Source() hin.NodeID { return d.source }
 // previous view only in the outgoing edges of node u, and repairs the
 // push invariant locally before resuming the push loop.
 func (d *DynamicForwardPush) Update(newView hin.View, u hin.NodeID) error {
+	return d.UpdateContext(context.Background(), newView, u)
+}
+
+// UpdateContext is Update with cancellation of the resumed push loop.
+// A canceled update leaves the residual repair applied but the push
+// incomplete; the state must not be reused after a cancellation error.
+func (d *DynamicForwardPush) UpdateContext(ctx context.Context, newView hin.View, u hin.NodeID) error {
 	if newView.NumNodes() != d.view.NumNodes() {
 		return fmt.Errorf("ppr: dynamic update cannot change the node count (%d -> %d)",
 			d.view.NumNodes(), newView.NumNodes())
@@ -73,8 +87,7 @@ func (d *DynamicForwardPush) Update(newView hin.View, u hin.NodeID) error {
 		}
 	}
 	d.view = newView
-	d.push()
-	return nil
+	return d.push(ctx)
 }
 
 // transitionDelta returns W′(u,·) − W(u,·) as a sparse map over the
@@ -104,7 +117,7 @@ func transitionDelta(oldView, newView hin.View, u hin.NodeID) map[hin.NodeID]flo
 // push drains residuals above the tolerance in absolute value. Unlike
 // the static loop, residuals may be negative after a repair; the push
 // rule is linear, so it applies unchanged.
-func (d *DynamicForwardPush) push() {
+func (d *DynamicForwardPush) push(ctx context.Context) error {
 	alpha := d.params.Alpha
 	eps := d.params.Epsilon
 	n := d.view.NumNodes()
@@ -117,7 +130,14 @@ func (d *DynamicForwardPush) push() {
 		}
 	}
 	csr, _ := d.view.(OutSliceView)
+	steps := 0
 	for len(queue) > 0 {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
+		steps++
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
@@ -149,6 +169,7 @@ func (d *DynamicForwardPush) push() {
 			d.view.OutEdges(v, visit)
 		}
 	}
+	return nil
 }
 
 func abs(x float64) float64 {

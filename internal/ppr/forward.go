@@ -1,6 +1,8 @@
 package ppr
 
 import (
+	"context"
+
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -36,7 +38,13 @@ type PushResult struct {
 
 // FromSource returns the estimate vector of Run.
 func (e *ForwardPush) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
-	res, err := e.Run(g, s)
+	return e.FromSourceContext(context.Background(), g, s)
+}
+
+// FromSourceContext is FromSource with cancellation: the context is
+// checked every push batch and the loop aborts with ctx.Err().
+func (e *ForwardPush) FromSourceContext(ctx context.Context, g hin.View, s hin.NodeID) (Vector, error) {
+	res, err := e.RunContext(ctx, g, s)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +54,12 @@ func (e *ForwardPush) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
 // Run performs forward local push from s until all residuals are below
 // Epsilon, returning estimates and residuals.
 func (e *ForwardPush) Run(g hin.View, s hin.NodeID) (*PushResult, error) {
+	return e.RunContext(context.Background(), g, s)
+}
+
+// RunContext is Run with cancellation, checked every ctxCheckInterval
+// queue steps.
+func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) (*PushResult, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,7 +82,14 @@ func (e *ForwardPush) Run(g hin.View, s hin.NodeID) (*PushResult, error) {
 
 	csr, _ := g.(OutSliceView) // fast path: direct slice iteration
 
+	steps := 0
 	for len(queue) > 0 {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false

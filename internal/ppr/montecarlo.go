@@ -1,6 +1,7 @@
 package ppr
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/why-not-xai/emigre/internal/hin"
@@ -30,6 +31,13 @@ func (e *MonteCarlo) Name() string { return "monte-carlo" }
 // empirical terminal distribution. The engine is deterministic for a
 // fixed Params.Seed.
 func (e *MonteCarlo) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
+	return e.FromSourceContext(context.Background(), g, s)
+}
+
+// FromSourceContext is FromSource with cancellation: the context is
+// checked every ctxCheckInterval walks and sampling aborts with
+// ctx.Err().
+func (e *MonteCarlo) FromSourceContext(ctx context.Context, g hin.View, s hin.NodeID) (Vector, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,6 +51,11 @@ func (e *MonteCarlo) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
 	rng := rand.New(rand.NewSource(e.Params.Seed))
 	counts := make([]int, g.NumNodes())
 	for i := 0; i < walks; i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		v := s
 		for {
 			if rng.Float64() < e.Params.Alpha {

@@ -1,6 +1,7 @@
 package ppr
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,6 +24,12 @@ func (e *Power) Name() string { return "power" }
 // FromSource iterates p ← α·e_s + (1−α)·p·W until the L1 change drops
 // below Tol. Each iteration is O(E).
 func (e *Power) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
+	return e.FromSourceContext(context.Background(), g, s)
+}
+
+// FromSourceContext is FromSource with cancellation: the context is
+// checked once per power sweep and the iteration aborts with ctx.Err().
+func (e *Power) FromSourceContext(ctx context.Context, g hin.View, s hin.NodeID) (Vector, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,6 +42,9 @@ func (e *Power) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
 	next := make(Vector, n)
 	p[s] = 1 // start from e_s; converges to the same fixed point
 	for iter := 0; iter < e.Params.MaxIter; iter++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		for i := range next {
 			next[i] = 0
 		}
@@ -71,6 +81,12 @@ func (e *Power) FromSource(g hin.View, s hin.NodeID) (Vector, error) {
 //
 //	PPR(s,t) = α·[s==t] + (1−α)·Σ_v W(s,v)·PPR(v,t)
 func (e *Power) ToTarget(g hin.View, t hin.NodeID) (Vector, error) {
+	return e.ToTargetContext(context.Background(), g, t)
+}
+
+// ToTargetContext is ToTarget with cancellation: the context is checked
+// once per power sweep and the iteration aborts with ctx.Err().
+func (e *Power) ToTargetContext(ctx context.Context, g hin.View, t hin.NodeID) (Vector, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -83,6 +99,9 @@ func (e *Power) ToTarget(g hin.View, t hin.NodeID) (Vector, error) {
 	next := make(Vector, n)
 	c[t] = alpha
 	for iter := 0; iter < e.Params.MaxIter; iter++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		for i := range next {
 			next[i] = 0
 		}

@@ -24,6 +24,7 @@
 package ppr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -115,8 +116,26 @@ func checkNode(g hin.View, v hin.NodeID) error {
 	return nil
 }
 
+// ctxCheckInterval is the number of inner-loop steps between context
+// checks in the push and Monte Carlo engines: frequent enough that a
+// canceled computation stops within microseconds, rare enough that the
+// check never shows up in profiles. Power iteration checks once per
+// O(E) sweep instead.
+const ctxCheckInterval = 1024
+
+// ctxErr reports a pending cancellation. A nil context (callers that
+// predate the context plumbing) never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // Engine computes the personalized score vector of a single source, the
-// row PPR(s,·) of Eq. 1.
+// row PPR(s,·) of Eq. 1. Every concrete engine additionally offers a
+// Context-suffixed variant of its methods that aborts mid-computation
+// with ctx.Err() once the context is canceled or its deadline passes.
 type Engine interface {
 	// FromSource returns PPR(s, v) for every node v.
 	FromSource(g hin.View, s hin.NodeID) (Vector, error)

@@ -1,6 +1,8 @@
 package ppr
 
 import (
+	"context"
+
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -26,7 +28,13 @@ func (e *ReversePush) Name() string { return "reverse-push" }
 
 // ToTarget returns the estimate vector of Run.
 func (e *ReversePush) ToTarget(g hin.View, t hin.NodeID) (Vector, error) {
-	res, err := e.Run(g, t)
+	return e.ToTargetContext(context.Background(), g, t)
+}
+
+// ToTargetContext is ToTarget with cancellation: the context is checked
+// every push batch and the loop aborts with ctx.Err().
+func (e *ReversePush) ToTargetContext(ctx context.Context, g hin.View, t hin.NodeID) (Vector, error) {
+	res, err := e.RunContext(ctx, g, t)
 	if err != nil {
 		return nil, err
 	}
@@ -37,6 +45,12 @@ func (e *ReversePush) ToTarget(g hin.View, t hin.NodeID) (Vector, error) {
 // Epsilon, returning estimates and residuals. Estimates[x] approximates
 // PPR(x, t) with additive error bounded by Epsilon/α per the invariant.
 func (e *ReversePush) Run(g hin.View, t hin.NodeID) (*PushResult, error) {
+	return e.RunContext(context.Background(), g, t)
+}
+
+// RunContext is Run with cancellation, checked every ctxCheckInterval
+// queue steps.
+func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) (*PushResult, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,7 +73,14 @@ func (e *ReversePush) Run(g hin.View, t hin.NodeID) (*PushResult, error) {
 
 	csr, _ := g.(*hin.CSR) // fast path: direct slice iteration
 
+	steps := 0
 	for len(queue) > 0 {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false

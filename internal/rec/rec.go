@@ -15,6 +15,7 @@
 package rec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -200,13 +201,24 @@ func (r *Recommender) IsCandidate(u, v hin.NodeID) bool {
 // Scores returns the full personalized score vector PPR(u, ·) over the
 // β-mixed transition view.
 func (r *Recommender) Scores(u hin.NodeID) (ppr.Vector, error) {
-	return r.engine.FromSource(r.ScoringView(), u)
+	return r.ScoresContext(context.Background(), u)
+}
+
+// ScoresContext is Scores with cancellation: the underlying PPR run
+// aborts with ctx.Err() once ctx is canceled or its deadline passes.
+func (r *Recommender) ScoresContext(ctx context.Context, u hin.NodeID) (ppr.Vector, error) {
+	return r.engine.FromSourceContext(ctx, r.ScoringView(), u)
 }
 
 // Recommend returns the top-1 recommendation for u per Eq. 2. It
 // returns ErrNoCandidates when no item is recommendable.
 func (r *Recommender) Recommend(u hin.NodeID) (hin.NodeID, error) {
-	top, err := r.TopN(u, 1)
+	return r.RecommendContext(context.Background(), u)
+}
+
+// RecommendContext is Recommend with cancellation.
+func (r *Recommender) RecommendContext(ctx context.Context, u hin.NodeID) (hin.NodeID, error) {
+	top, err := r.TopNContext(ctx, u, 1)
 	if err != nil {
 		return hin.InvalidNode, err
 	}
@@ -218,7 +230,13 @@ func (r *Recommender) Recommend(u hin.NodeID) (hin.NodeID, error) {
 // entries are returned when the graph has fewer candidates; zero
 // candidates is ErrNoCandidates.
 func (r *Recommender) TopN(u hin.NodeID, n int) ([]Scored, error) {
-	scores, err := r.Scores(u)
+	return r.TopNContext(context.Background(), u, n)
+}
+
+// TopNContext is TopN with cancellation: the PPR pass behind the
+// ranking aborts with ctx.Err() once ctx is done.
+func (r *Recommender) TopNContext(ctx context.Context, u hin.NodeID, n int) ([]Scored, error) {
+	scores, err := r.ScoresContext(ctx, u)
 	if err != nil {
 		return nil, err
 	}
@@ -247,10 +265,15 @@ func (r *Recommender) TopN(u hin.NodeID, n int) ([]Scored, error) {
 // RankOf returns the 1-based rank of item v in u's candidate ranking.
 // It returns ErrNotCandidate when v cannot be recommended to u.
 func (r *Recommender) RankOf(u, v hin.NodeID) (int, error) {
+	return r.RankOfContext(context.Background(), u, v)
+}
+
+// RankOfContext is RankOf with cancellation.
+func (r *Recommender) RankOfContext(ctx context.Context, u, v hin.NodeID) (int, error) {
 	if !r.IsCandidate(u, v) {
 		return 0, fmt.Errorf("%w: user %d, node %d", ErrNotCandidate, u, v)
 	}
-	scores, err := r.Scores(u)
+	scores, err := r.ScoresContext(ctx, u)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by admission.Acquire when both the
+// concurrency slots and the wait queue are full. The HTTP layer maps it
+// to 503 + Retry-After.
+var ErrSaturated = errors.New("server: saturated, try again later")
+
+// admission is a weighted semaphore with a bounded FIFO wait queue —
+// the server's overload policy. Capacity units model concurrent search
+// work (a group query costs more than a single-item one); at most
+// maxQueue requests may wait for units, and any request beyond that is
+// rejected immediately with ErrSaturated instead of piling up.
+type admission struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	maxQueue int
+	waiters  []*admissionWaiter
+}
+
+type admissionWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+// newAdmission builds a controller with the given capacity and wait
+// queue bound. maxQueue 0 means no queueing: a request either gets its
+// units immediately or is rejected.
+func newAdmission(capacity int64, maxQueue int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// clamp bounds a request's weight to [1, capacity] so every request is
+// satisfiable. Acquire and Release apply the same clamp, so callers can
+// pass the raw weight to both.
+func (a *admission) clamp(n int64) int64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > a.capacity {
+		n = a.capacity
+	}
+	return n
+}
+
+// Acquire obtains n units, waiting in FIFO order behind earlier
+// requests. It returns ErrSaturated without blocking when the wait
+// queue is full, and ctx.Err() when the context is done before units
+// become available.
+func (a *admission) Acquire(ctx context.Context, n int64) error {
+	n = a.clamp(n)
+	a.mu.Lock()
+	if a.used+n <= a.capacity && len(a.waiters) == 0 {
+		a.used += n
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrSaturated
+	}
+	w := &admissionWaiter{n: n, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		found := false
+		for i, x := range a.waiters {
+			if x == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			// The grant raced the cancellation: units are already ours,
+			// hand them back.
+			a.used -= n
+		}
+		a.grantLocked()
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n units and wakes queued waiters that now fit.
+func (a *admission) Release(n int64) {
+	n = a.clamp(n)
+	a.mu.Lock()
+	a.used -= n
+	if a.used < 0 {
+		a.used = 0 // defensive: a double release must not wedge the gate
+	}
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked grants units to queued waiters in FIFO order, stopping at
+// the first one that does not fit (no overtaking, so wide requests
+// cannot starve).
+func (a *admission) grantLocked() {
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if a.used+w.n > a.capacity {
+			return
+		}
+		a.used += w.n
+		a.waiters = a.waiters[1:]
+		close(w.ready)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := newAdmission(2, 0)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Full and no queue: reject.
+	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	a.Release(1)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestAdmissionClampsWideRequests(t *testing.T) {
+	a := newAdmission(2, 0)
+	// A request wider than capacity is clamped, not deadlocked.
+	if err := a.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated while clamped request holds all units", err)
+	}
+	a.Release(100) // same clamp on release keeps the books balanced
+	if err := a.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(context.Background(), 1) }()
+	waitForWaiters(t, a, 1)
+	// ...the next is shed immediately.
+	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated with full queue", err)
+	}
+	a.Release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionWaiterHonorsContext(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The abandoned waiter must not leak queue slots or units.
+	a.Release(1)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("after waiter timeout: %v", err)
+	}
+	a.Release(1)
+}
+
+// TestAdmissionFIFONoOvertaking: a wide request queued first is granted
+// before a narrow one queued later, even though the narrow one would fit
+// sooner — otherwise group queries could starve forever.
+func TestAdmissionFIFONoOvertaking(t *testing.T) {
+	a := newAdmission(2, 4)
+	if err := a.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	go func() {
+		if a.Acquire(context.Background(), 2) == nil {
+			order <- "wide"
+			a.Release(2)
+		}
+	}()
+	waitForWaiters(t, a, 1)
+	go func() {
+		if a.Acquire(context.Background(), 1) == nil {
+			order <- "narrow"
+			a.Release(1)
+		}
+	}()
+	waitForWaiters(t, a, 2)
+	a.Release(2)
+	if first := <-order; first != "wide" {
+		t.Fatalf("first grant = %q, want wide (FIFO)", first)
+	}
+	<-order
+}
+
+// TestAdmissionStress hammers the gate from many goroutines; run with
+// -race. The invariant: used never exceeds capacity.
+func TestAdmissionStress(t *testing.T) {
+	a := newAdmission(3, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		n := int64(1 + i%3)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				err := a.Acquire(context.Background(), n)
+				if errors.Is(err, ErrSaturated) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				a.mu.Lock()
+				over := a.used > a.capacity
+				a.mu.Unlock()
+				if over {
+					t.Error("used exceeds capacity")
+				}
+				a.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used != 0 || len(a.waiters) != 0 {
+		t.Fatalf("leaked state: used=%d waiters=%d", a.used, len(a.waiters))
+	}
+}
+
+func waitForWaiters(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		got := len(a.waiters)
+		a.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never saw %d waiters", n)
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// requestInfo accumulates per-request details the logging middleware
+// cannot see on its own (the number of CHECK invocations a search ran).
+type requestInfo struct {
+	tests    int
+	hasTests bool
+}
+
+type requestInfoKey struct{}
+
+// infoFrom returns the request's info record, or nil when the request
+// did not pass through the middleware (direct handler tests).
+func infoFrom(ctx context.Context) *requestInfo {
+	info, _ := ctx.Value(requestInfoKey{}).(*requestInfo)
+	return info
+}
+
+// recordTests notes the CHECK count for the request log line.
+func recordTests(ctx context.Context, tests int) {
+	if info := infoFrom(ctx); info != nil {
+		info.tests = tests
+		info.hasTests = true
+	}
+}
+
+// statusWriter captures the response status for logging and panic
+// recovery.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withMiddleware wraps the route tree with panic recovery and
+// structured request logging: one line per request with method, path,
+// status, duration and (for explanation requests) the CHECK count.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &requestInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !sw.wrote {
+					s.writeErr(sw, http.StatusInternalServerError, errors.New("internal server error"))
+				} else {
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			if info.hasTests {
+				s.log.Printf("%s %s %d %s tests=%d",
+					r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), info.tests)
+			} else {
+				s.log.Printf("%s %s %d %s",
+					r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

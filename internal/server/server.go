@@ -3,26 +3,56 @@
 // paper's system in. Endpoints:
 //
 //	GET  /healthz    liveness probe
+//	GET  /readyz     readiness probe (503 while draining for shutdown)
 //	GET  /stats      graph shape (the Table-4 rows) as JSON
 //	GET  /recommend  ?user=<label|id>&n=10 — the user's top-N list
 //	POST /explain    one Why-Not question (single item or group)
 //	POST /diagnose   §6.4 meta-explanation for an unanswerable question
 //
 // Nodes are addressed by label or numeric ID, exactly like the CLI.
-// Explanation requests are serialized through a mutex (each one runs
-// full PPR passes); read endpoints serve concurrently.
+//
+// Explanation requests are expensive (each one runs full PPR passes),
+// so the server applies admission control instead of a global lock: a
+// weighted semaphore admits up to MaxConcurrent units of search work,
+// up to QueueDepth further requests wait in FIFO order, and anything
+// beyond that is rejected immediately with 503 + Retry-After. Every
+// explanation also runs under a deadline (ExplainTimeout, optionally
+// tightened per request with "timeout_ms"); a search that overruns it
+// is canceled mid-PPR and answered with 504. Read endpoints serve
+// concurrently and are not gated.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
-	"sync"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	emigre "github.com/why-not-xai/emigre"
 	"github.com/why-not-xai/emigre/internal/cli"
 )
+
+// Tuning defaults used when the corresponding Config field is zero.
+const (
+	// DefaultExplainTimeout bounds one explanation request end to end,
+	// queue wait included.
+	DefaultExplainTimeout = 30 * time.Second
+	// DefaultMaxConcurrent is the default admission capacity in units
+	// of concurrent search work.
+	DefaultMaxConcurrent = 2
+	// DefaultQueueDepth is the default number of requests allowed to
+	// wait for admission before the server starts shedding load.
+	DefaultQueueDepth = 8
+)
+
+// statusClientClosedRequest is the nginx convention for "the client
+// went away before the response was ready"; there is no standard code.
+const statusClientClosedRequest = 499
 
 // Config wires a server to its graph and engine settings.
 type Config struct {
@@ -32,16 +62,37 @@ type Config struct {
 	// Explainer options (T_e, budgets, ...). Mode/Method fields are
 	// ignored: every request names its own.
 	Options emigre.Options
+
+	// ExplainTimeout is the per-request deadline for /explain and
+	// /diagnose, covering queue wait and search. 0 means
+	// DefaultExplainTimeout; negative disables the deadline.
+	ExplainTimeout time.Duration
+	// MaxConcurrent is the admission capacity: how many units of search
+	// work may run at once (a single-item question costs 1, group and
+	// category questions cost more). 0 means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// QueueDepth is how many requests may wait for admission before new
+	// ones are rejected with 503. 0 means DefaultQueueDepth; negative
+	// disables queueing entirely.
+	QueueDepth int
+	// Logger receives the per-request log lines and server warnings.
+	// Nil means log.Default().
+	Logger *log.Logger
 }
 
 // Server handles the HTTP API. Create with New, mount via Handler.
 type Server struct {
-	g   *emigre.Graph
-	r   *emigre.Recommender
-	ex  *emigre.Explainer
-	mux *http.ServeMux
-	// explainMu serializes the expensive counterfactual searches.
-	explainMu sync.Mutex
+	g       *emigre.Graph
+	r       *emigre.Recommender
+	ex      *emigre.Explainer
+	mux     *http.ServeMux
+	handler http.Handler
+	// adm gates the expensive counterfactual searches.
+	adm      *admission
+	capacity int64
+	timeout  time.Duration
+	log      *log.Logger
+	draining atomic.Bool
 }
 
 // New builds a server and eagerly warms the recommender's flat
@@ -50,23 +101,56 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Graph == nil || cfg.Recommender == nil {
 		return nil, errors.New("server: graph and recommender are required")
 	}
+	timeout := cfg.ExplainTimeout
+	switch {
+	case timeout == 0:
+		timeout = DefaultExplainTimeout
+	case timeout < 0:
+		timeout = 0 // no deadline
+	}
+	capacity := cfg.MaxConcurrent
+	if capacity <= 0 {
+		capacity = DefaultMaxConcurrent
+	}
+	queue := cfg.QueueDepth
+	switch {
+	case queue == 0:
+		queue = DefaultQueueDepth
+	case queue < 0:
+		queue = 0 // no queueing
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
 	s := &Server{
-		g:  cfg.Graph,
-		r:  cfg.Recommender,
-		ex: emigre.NewExplainer(cfg.Graph, cfg.Recommender, cfg.Options),
+		g:        cfg.Graph,
+		r:        cfg.Recommender,
+		ex:       emigre.NewExplainer(cfg.Graph, cfg.Recommender, cfg.Options),
+		adm:      newAdmission(int64(capacity), queue),
+		capacity: int64(capacity),
+		timeout:  timeout,
+		log:      logger,
 	}
 	s.r.Flat() // warm the shared snapshot before concurrency starts
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /diagnose", s.handleDiagnose)
+	s.handler = s.withMiddleware(s.mux)
 	return s, nil
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree (middleware included).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// SetDraining marks the server as shutting down: /readyz starts
+// answering 503 so load balancers stop routing new traffic, while
+// in-flight requests keep running until the http.Server drains them.
+func (s *Server) SetDraining() { s.draining.Store(true) }
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -75,7 +159,11 @@ type errorBody struct {
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire; all we can do is make
+		// the truncated response observable.
+		s.log.Printf("writeJSON: encoding %T response: %v", v, err)
+	}
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
@@ -91,6 +179,12 @@ func statusFor(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, emigre.ErrNoExplanation):
 		return http.StatusNotFound
+	// Deadline first: a deadline-canceled search wraps both the
+	// sentinel and context.DeadlineExceeded.
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, emigre.ErrCanceled), errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -98,6 +192,14 @@ func statusFor(err error) int {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 type statsRow struct {
@@ -138,12 +240,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	n := 10
 	if raw := r.URL.Query().Get("n"); raw != "" {
-		if _, err := fmt.Sscanf(raw, "%d", &n); err != nil || n < 1 {
+		n, err = strconv.Atoi(raw)
+		if err != nil || n < 1 {
 			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", raw))
 			return
 		}
 	}
-	top, err := s.r.TopN(user, n)
+	top, err := s.r.TopNContext(r.Context(), user, n)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -159,14 +262,16 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 // explainRequest is the /explain body. WNI or Items (group form) must
-// be set; Category asks the category granularity.
+// be set; Category asks the category granularity. TimeoutMS optionally
+// tightens (never widens) the server's ExplainTimeout for this request.
 type explainRequest struct {
-	User     string   `json:"user"`
-	WNI      string   `json:"wni,omitempty"`
-	Items    []string `json:"items,omitempty"`
-	Category string   `json:"category,omitempty"`
-	Mode     string   `json:"mode"`
-	Method   string   `json:"method"`
+	User      string   `json:"user"`
+	WNI       string   `json:"wni,omitempty"`
+	Items     []string `json:"items,omitempty"`
+	Category  string   `json:"category,omitempty"`
+	Mode      string   `json:"mode"`
+	Method    string   `json:"method"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
 }
 
 type edgeBody struct {
@@ -188,6 +293,55 @@ type explainResponse struct {
 	Verified    bool          `json:"verified"`
 	Checks      int           `json:"checks"`
 	DurationUS  int64         `json:"duration_us"`
+}
+
+// searchContext applies the effective deadline for one explanation
+// request: the server's ExplainTimeout, tightened by the request's
+// timeout_ms when that is stricter.
+func (s *Server) searchContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.timeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; d <= 0 || req < d {
+			d = req
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// admit acquires cost units of search capacity, writing the 503 or
+// timeout response itself when admission fails. The caller must release
+// the returned cost when ok.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, cost int64) bool {
+	err := s.adm.Acquire(ctx, cost)
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, ErrSaturated) {
+		w.Header().Set("Retry-After", "1")
+		s.writeErr(w, http.StatusServiceUnavailable,
+			errors.New("server saturated: too many concurrent explanations; retry later"))
+		return false
+	}
+	// Context expired while queued.
+	s.writeErr(w, statusFor(err), fmt.Errorf("timed out waiting for an explanation slot: %w", err))
+	return false
+}
+
+// explainCost estimates a request's admission weight: group and
+// category questions run one search attempt per member, so they occupy
+// more of the capacity (clamped to it).
+func (s *Server) explainCost(req explainRequest) int64 {
+	switch {
+	case req.Category != "":
+		return 2
+	case len(req.Items) > 0:
+		return int64(len(req.Items))
+	default:
+		return 1
+	}
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -212,14 +366,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	cost := s.explainCost(req)
+	if !s.admit(ctx, w, cost) {
+		return
+	}
+	defer s.adm.Release(cost)
+
 	var expl *emigre.Explanation
-	s.explainMu.Lock()
 	switch {
 	case req.Category != "":
 		var cat emigre.NodeID
 		cat, err = cli.ResolveNode(s.g, req.Category)
 		if err == nil {
-			expl, err = s.ex.ExplainCategory(user, cat, 0, mode, method)
+			expl, err = s.ex.ExplainCategoryContext(ctx, user, cat, 0, mode, method)
 		}
 	case len(req.Items) > 0:
 		var items []emigre.NodeID
@@ -232,29 +393,33 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			items = append(items, id)
 		}
 		if err == nil {
-			expl, err = s.ex.ExplainGroup(emigre.GroupQuery{User: user, Items: items}, mode, method)
+			expl, err = s.ex.ExplainGroupContext(ctx, emigre.GroupQuery{User: user, Items: items}, mode, method)
 		}
 	case req.WNI != "":
 		var wni emigre.NodeID
 		wni, err = cli.ResolveNode(s.g, req.WNI)
 		if err == nil {
-			expl, err = s.ex.ExplainWith(emigre.Query{User: user, WNI: wni}, mode, method)
+			expl, err = s.ex.ExplainWithContext(ctx, emigre.Query{User: user, WNI: wni}, mode, method)
 		}
 	default:
-		err = errors.New("one of wni, items or category is required")
-		s.explainMu.Unlock()
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, errors.New("one of wni, items or category is required"))
 		return
 	}
-	s.explainMu.Unlock()
 	if err != nil {
 		status := statusFor(err)
 		if errors.Is(err, cli.ErrNoSuchNode) {
 			status = http.StatusBadRequest
 		}
+		// Surface the partial work tally of a canceled search in the
+		// request log (observability for 504s).
+		var ce *emigre.CanceledError
+		if errors.As(err, &ce) {
+			recordTests(r.Context(), ce.Stats.Tests)
+		}
 		s.writeErr(w, status, err)
 		return
 	}
+	recordTests(r.Context(), expl.Stats.Tests)
 
 	resp := explainResponse{
 		Mode:        expl.Mode.String(),
@@ -285,9 +450,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 type diagnoseRequest struct {
-	User string `json:"user"`
-	WNI  string `json:"wni"`
-	Mode string `json:"mode"`
+	User      string `json:"user"`
+	WNI       string `json:"wni"`
+	Mode      string `json:"mode"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -311,10 +477,21 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.explainMu.Lock()
-	d, err := s.ex.Diagnose(emigre.Query{User: user, WNI: wni}, mode)
-	s.explainMu.Unlock()
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	// A diagnosis probes every mode with Exhaustive, comparable to a
+	// small group query.
+	const diagnoseCost = 2
+	if !s.admit(ctx, w, diagnoseCost) {
+		return
+	}
+	defer s.adm.Release(diagnoseCost)
+	d, err := s.ex.DiagnoseContext(ctx, emigre.Query{User: user, WNI: wni}, mode)
 	if err != nil {
+		var ce *emigre.CanceledError
+		if errors.As(err, &ce) {
+			recordTests(r.Context(), ce.Stats.Tests)
+		}
 		s.writeErr(w, statusFor(err), err)
 		return
 	}

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +14,12 @@ import (
 )
 
 func newTestServer(t *testing.T) (*Server, *emigre.Books) {
+	return newTestServerCfg(t, nil)
+}
+
+// newTestServerCfg builds a books-graph server, letting the test tweak
+// the Config (timeouts, admission) before construction.
+func newTestServerCfg(t *testing.T, mutate func(*Config)) (*Server, *emigre.Books) {
 	t.Helper()
 	books, err := emigre.NewBooks()
 	if err != nil {
@@ -23,14 +31,19 @@ func newTestServer(t *testing.T) (*Server, *emigre.Books) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{
+	sc := Config{
 		Graph:       books.Graph,
 		Recommender: r,
 		Options: emigre.Options{
 			AllowedEdgeTypes: books.ActionEdgeTypes(),
 			AddEdgeType:      books.Types.Rated,
 		},
-	})
+		Logger: log.New(io.Discard, "", 0),
+	}
+	if mutate != nil {
+		mutate(&sc)
+	}
+	srv, err := New(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,6 +129,11 @@ func TestRecommend(t *testing.T) {
 	}
 	if rec := do(t, srv.Handler(), "GET", "/recommend?user=Paul&n=-2", nil); rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad n status = %d", rec.Code)
+	}
+	// Trailing garbage must be rejected, not silently truncated the way
+	// Sscanf-style parsing would.
+	if rec := do(t, srv.Handler(), "GET", "/recommend?user=Paul&n=10abc", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("n=10abc status = %d, want 400", rec.Code)
 	}
 }
 
