@@ -52,6 +52,10 @@ func main() {
 			"units of explanation work allowed to run at once")
 		queueDepth = flag.Int("queue-depth", server.DefaultQueueDepth,
 			"requests allowed to wait for a slot before 503 (0 = no queue)")
+		cacheEntries = flag.Int("cache-entries", emigre.DefaultPPRCacheEntries,
+			"PPR-vector cache capacity in entries (0 = caching disabled)")
+		cacheBytes = flag.Int64("cache-bytes", emigre.DefaultPPRCacheBytes,
+			"PPR-vector cache capacity in bytes (0 = caching disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long to wait for in-flight requests on shutdown")
 	)
@@ -80,8 +84,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The flag reads "0 = disabled"; Config reads "0 = default,
-	// negative = disabled". Same for the queue depth.
+	// The flags read "0 = disabled"; Config reads "0 = default,
+	// negative = disabled". Same for the queue depth and cache bounds.
 	timeout := *explainTimeout
 	if timeout == 0 {
 		timeout = -1
@@ -89,6 +93,14 @@ func main() {
 	queue := *queueDepth
 	if queue == 0 {
 		queue = -1
+	}
+	entries := *cacheEntries
+	if entries == 0 {
+		entries = -1
+	}
+	bytes := *cacheBytes
+	if bytes == 0 {
+		bytes = -1
 	}
 	srv, err := server.New(server.Config{
 		Graph:       g,
@@ -101,6 +113,8 @@ func main() {
 		ExplainTimeout: timeout,
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     queue,
+		CacheEntries:   entries,
+		CacheBytes:     bytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -51,6 +51,7 @@ import (
 	"github.com/why-not-xai/emigre/internal/eval"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/pprcache"
 	"github.com/why-not-xai/emigre/internal/prince"
 	"github.com/why-not-xai/emigre/internal/rec"
 )
@@ -150,6 +151,29 @@ type (
 
 // NewRecommender builds a recommender over g.
 func NewRecommender(g View, cfg RecommenderConfig) (*Recommender, error) { return rec.New(g, cfg) }
+
+// PPR-vector caching (internal/pprcache): a versioned, sharded,
+// singleflight-deduplicating cache shared between the recommender's
+// forward vectors and the explainer's reverse columns. Attach one with
+// Recommender.SetCache and/or Options.Cache.
+type (
+	// PPRCache is the shared vector cache.
+	PPRCache = pprcache.Cache
+	// PPRCacheConfig bounds a PPRCache (entries, bytes, shards).
+	PPRCacheConfig = pprcache.Config
+	// PPRCacheStats is a point-in-time snapshot of cache counters.
+	PPRCacheStats = pprcache.Stats
+)
+
+// NewPPRCache builds a vector cache; zero fields use the package
+// defaults (4096 entries, 256 MiB, 16 shards).
+func NewPPRCache(cfg PPRCacheConfig) *PPRCache { return pprcache.New(cfg) }
+
+// Default PPR-cache bounds, re-exported for flag defaults.
+const (
+	DefaultPPRCacheEntries = pprcache.DefaultMaxEntries
+	DefaultPPRCacheBytes   = int64(pprcache.DefaultMaxBytes)
+)
 
 // DefaultRecommenderConfig returns the paper's setting (α = 0.15,
 // ε = 2.7e-8, β = 0.5) for the given recommendable item types.

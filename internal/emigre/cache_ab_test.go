@@ -1,0 +1,161 @@
+package emigre
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/pprcache"
+	"github.com/why-not-xai/emigre/internal/rec"
+)
+
+// TestCacheABExplanationsIdentical is the acceptance A/B: every mode ×
+// method must produce byte-identical explanations with the vector cache
+// enabled (the default) and disabled. The cache may only change how
+// much work runs, never what is returned.
+func TestCacheABExplanationsIdentical(t *testing.T) {
+	for _, mode := range []Mode{Remove, Add} {
+		for _, method := range allMethods(mode) {
+			cached := newFixture(t, Options{Mode: mode, Method: method})
+			uncached := newFixture(t, Options{Mode: mode, Method: method, DisableCache: true})
+			if cached.ex.Cache() == nil {
+				t.Fatal("default explainer has no cache")
+			}
+			if uncached.ex.Cache() != nil {
+				t.Fatal("DisableCache left a cache attached")
+			}
+
+			want, errW := cached.ex.Explain(cached.query())
+			got, errG := uncached.ex.Explain(uncached.query())
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("%v/%v: cached err=%v uncached err=%v", mode, method, errW, errG)
+			}
+			if errW != nil {
+				if errW.Error() != errG.Error() {
+					t.Fatalf("%v/%v: error mismatch: %q vs %q", mode, method, errW, errG)
+				}
+				continue
+			}
+			// Wall-clock is the only field allowed to differ.
+			want.Stats.Duration, got.Stats.Duration = 0, 0
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%v/%v: explanations diverge:\ncached:   %+v\nuncached: %+v", mode, method, want, got)
+			}
+		}
+	}
+}
+
+// TestCacheABTopNIdentical pins the same property one layer down: the
+// recommender's ranking is bit-for-bit unaffected by an attached cache.
+func TestCacheABTopNIdentical(t *testing.T) {
+	plain := newFixture(t, Options{DisableCache: true})
+	cachedRec := *plain.r
+	cachedRec.SetCache(pprcache.New(pprcache.Config{}))
+
+	u := plain.ids["u"]
+	for range [2]int{} { // second pass serves the cached side from residency
+		want, err := plain.r.TopN(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cachedRec.TopN(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("rankings diverge:\nuncached: %v\ncached:   %v", want, got)
+		}
+	}
+	if s := cachedRec.Cache().Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("cached recommender did not exercise both paths: %+v", s)
+	}
+}
+
+// TestExplainerCacheReuseAcrossQueries checks that the second identical
+// query is served mostly from residency: the baseline columns and
+// forward vectors computed by the first session become hits.
+func TestExplainerCacheReuseAcrossQueries(t *testing.T) {
+	f := newFixture(t, Options{Mode: Remove, Method: Exhaustive})
+	q := f.query()
+	if _, err := f.ex.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	after1 := f.ex.Cache().Stats()
+	if after1.Misses == 0 {
+		t.Fatalf("first query computed nothing: %+v", after1)
+	}
+	expl1, err := f.ex.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after2 := f.ex.Cache().Stats()
+	if after2.Hits <= after1.Hits {
+		t.Fatalf("second query hit nothing: %+v -> %+v", after1, after2)
+	}
+	// The base-view vectors (session baseline + targets) are all warm;
+	// only counterfactual overlays may still miss. Sanity-check the
+	// explanation is still produced and verified.
+	if !expl1.Verified {
+		t.Fatal("second explanation lost verification")
+	}
+}
+
+// TestExplainerVerifyHitsExplainResidency checks the overlay-digest
+// property end to end: Verify rebuilds the winning counterfactual
+// overlay from the explanation's edge set, and because overlay versions
+// are digests of the edit set — not pointer identities — its CHECK
+// scores come from the cache entries the search already populated.
+func TestExplainerVerifyHitsExplainResidency(t *testing.T) {
+	f := newFixture(t, Options{Mode: Remove, Method: Incremental})
+	expl, err := f.ex.Explain(f.query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.ex.Cache().Stats()
+	ok, err := f.ex.Verify(expl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("explanation did not re-verify")
+	}
+	after := f.ex.Cache().Stats()
+	if after.Hits <= before.Hits {
+		t.Fatalf("Verify recomputed everything: %+v -> %+v", before, after)
+	}
+}
+
+// TestNewDoesNotMutateCallerRecommender pins the copy semantics: New
+// rebinds the recommender to the explainer's cache via a copy, so the
+// caller's instance stays cache-free.
+func TestNewDoesNotMutateCallerRecommender(t *testing.T) {
+	f := newFixture(t, Options{})
+	if f.r.Cache() != nil {
+		t.Fatal("New attached its cache to the caller's recommender")
+	}
+	var r2 rec.Recommender = *f.r
+	r2.SetCache(pprcache.New(pprcache.Config{}))
+	ex := New(f.g, &r2, Options{})
+	if ex.Cache() == r2.Cache() {
+		t.Fatal("explainer should keep its own cache, not adopt the recommender's")
+	}
+	if _, err := ex.Explain(f.query()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedCacheAcrossExplainAndRecommender is the serving topology:
+// one cache injected into both the recommender and the explainer. The
+// explainer must adopt it rather than build a private one.
+func TestSharedCacheAcrossExplainAndRecommender(t *testing.T) {
+	shared := pprcache.New(pprcache.Config{})
+	f := newFixture(t, Options{Cache: shared})
+	if f.ex.Cache() != shared {
+		t.Fatal("explainer ignored the injected cache")
+	}
+	if _, err := f.ex.Explain(f.query()); err != nil {
+		t.Fatal(err)
+	}
+	if s := shared.Stats(); s.Misses == 0 {
+		t.Fatalf("injected cache saw no traffic: %+v", s)
+	}
+}

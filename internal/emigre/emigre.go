@@ -41,6 +41,7 @@ import (
 
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/pprcache"
 	"github.com/why-not-xai/emigre/internal/rec"
 )
 
@@ -228,6 +229,19 @@ type Options struct {
 	// relaxed rank.
 	TargetRank int
 
+	// Cache is the PPR-vector cache backing the explainer's reverse
+	// columns (the session's PPR(·,rec) and PPR(·,WNI) plus the
+	// Exhaustive Comparison's per-target columns) and — through the
+	// recommender — its forward vectors. Nil means an explainer-private
+	// cache with default bounds; share one pprcache.Cache across the
+	// explainer and the serving recommender to get cross-request reuse.
+	Cache *pprcache.Cache
+
+	// DisableCache turns vector caching off entirely (A/B comparisons,
+	// memory-constrained runs). Explanations are byte-identical with and
+	// without the cache; only the work performed differs.
+	DisableCache bool
+
 	// DynamicCheck accelerates the CHECK step with the dynamic
 	// forward-push engine (ppr.DynamicForwardPush): instead of
 	// re-running PPR from scratch on every counterfactual overlay, the
@@ -383,27 +397,50 @@ func (e *Explanation) Describe(g *hin.Graph) string {
 
 // Explainer answers Why-Not queries over a fixed graph and recommender.
 type Explainer struct {
-	g    *hin.Graph
-	r    *rec.Recommender
-	opts Options
-	rev  *ppr.ReversePush
+	g     *hin.Graph
+	r     *rec.Recommender
+	opts  Options
+	rev   *ppr.ReversePush
+	cache *pprcache.Cache // nil when Options.DisableCache
 }
 
 // New builds an explainer. The recommender must have been built over g
 // (or over a view of it); opts.Mode/Method select the default strategy
 // used by Explain.
+//
+// Unless opts.DisableCache is set, the explainer serves its PPR vectors
+// through a pprcache.Cache: opts.Cache when given, else a private one.
+// A recommender without its own cache is rebound to the same cache (via
+// a copy — the caller's recommender is never mutated) so the session
+// baseline forward vector and the CHECK step share it too.
 func New(g *hin.Graph, r *rec.Recommender, opts Options) *Explainer {
 	o := opts.withDefaults()
+	cache := o.Cache
+	if o.DisableCache {
+		cache = nil
+	} else if cache == nil {
+		cache = pprcache.New(pprcache.Config{})
+	}
+	if cache != nil && r.Cache() == nil {
+		rc := *r
+		rc.SetCache(cache)
+		r = &rc
+	}
 	return &Explainer{
-		g:    g,
-		r:    r,
-		opts: o,
-		rev:  ppr.NewReversePush(r.Config().PPR),
+		g:     g,
+		r:     r,
+		opts:  o,
+		rev:   ppr.NewReversePush(r.Config().PPR),
+		cache: cache,
 	}
 }
 
 // Options returns the explainer's effective options (defaults applied).
 func (e *Explainer) Options() Options { return e.opts }
+
+// Cache returns the PPR-vector cache the explainer serves from, nil
+// when caching is disabled.
+func (e *Explainer) Cache() *pprcache.Cache { return e.cache }
 
 // Explain answers the query with the explainer's configured mode and
 // method.
@@ -581,11 +618,11 @@ func (e *Explainer) newSession(ctx context.Context, q Query, mode Mode) (*sessio
 		}
 	}
 	s := &session{ex: e, ctx: ctx, q: q, mode: mode, rec: current, view: e.r.Flat()}
-	s.toRec, err = e.rev.ToTargetContext(ctx, s.view, current)
+	s.toRec, err = s.reverseColumn(current)
 	if err != nil {
 		return nil, wrapCtxErr(err, Stats{})
 	}
-	s.toWNI, err = e.rev.ToTargetContext(ctx, s.view, q.WNI)
+	s.toWNI, err = s.reverseColumn(q.WNI)
 	if err != nil {
 		return nil, wrapCtxErr(err, Stats{})
 	}
@@ -609,6 +646,23 @@ func splitOps(cands []candidate) (removals, additions, reweights []hin.Edge) {
 		}
 	}
 	return removals, additions, reweights
+}
+
+// reverseColumn returns PPR(·, t) over the session's scoring view,
+// served through the explainer's vector cache when one is attached (the
+// CSR snapshot carries the β-mixed view's version, so columns computed
+// for one request are reused by every later request over the same
+// graph). The returned vector is shared and must not be mutated.
+func (s *session) reverseColumn(t hin.NodeID) (ppr.Vector, error) {
+	if c := s.ex.cache; c != nil {
+		if k, ok := pprcache.ReverseKey(s.view, s.ex.rev, t); ok {
+			vec, _, err := c.GetOrCompute(s.ctx, k, func(cctx context.Context) (ppr.Vector, error) {
+				return s.ex.rev.ToTargetContext(cctx, s.view, t)
+			})
+			return vec, err
+		}
+	}
+	return s.ex.rev.ToTargetContext(s.ctx, s.view, t)
 }
 
 // canceled reports a pending cancellation of the session's context as

@@ -201,16 +201,16 @@ func (s *session) exhaustiveTargets() ([]hin.NodeID, error) {
 	return targets, nil
 }
 
-// targetColumns computes PPR(·, t) for every target, reusing the
-// session's cached column for the current recommendation.
+// targetColumns returns PPR(·, t) for every target. All columns go
+// through session.reverseColumn, so the current recommendation's column
+// (already computed in newSession) and any column shared with earlier
+// queries over the same graph come straight from the vector cache — the
+// hand-rolled t == rec reuse this function used to special-case is now
+// a plain cache hit.
 func (s *session) targetColumns(targets []hin.NodeID) ([]ppr.Vector, error) {
 	cols := make([]ppr.Vector, len(targets))
 	for k, t := range targets {
-		if t == s.rec {
-			cols[k] = s.toRec
-			continue
-		}
-		col, err := s.ex.rev.ToTargetContext(s.ctx, s.view, t)
+		col, err := s.reverseColumn(t)
 		if err != nil {
 			return nil, s.wrapCtx(err)
 		}

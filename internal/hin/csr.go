@@ -14,6 +14,12 @@ type CSR struct {
 	inStart  []int32
 	inHalf   []HalfEdge
 	outSum   []float64
+
+	// version is the source view's version captured at flatten time: a
+	// CSR is a frozen snapshot, so it keeps identifying that state even
+	// if the source graph mutates afterwards.
+	version   Version
+	versioned bool
 }
 
 // NewCSR flattens v. If v is already a *CSR it is returned as-is.
@@ -29,6 +35,7 @@ func NewCSR(v View) *CSR {
 		inStart:  make([]int32, n+1),
 		outSum:   make([]float64, n),
 	}
+	c.version, c.versioned = ViewVersion(v)
 	outDeg := make([]int32, n)
 	inDeg := make([]int32, n)
 	edges := 0
@@ -63,6 +70,10 @@ func NewCSR(v View) *CSR {
 	}
 	return c
 }
+
+// Version implements Versioned: the version of the view the snapshot
+// was flattened from.
+func (c *CSR) Version() (Version, bool) { return c.version, c.versioned }
 
 // NumNodes implements View.
 func (c *CSR) NumNodes() int { return len(c.ntype) }

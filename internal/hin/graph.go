@@ -27,6 +27,10 @@ type Graph struct {
 	// edgeSet indexes directed (from,to) pairs for O(1) HasEdge,
 	// counting parallel typed edges.
 	edgeSet map[pairKey]int
+
+	// version is the globally unique stamp of the graph's current
+	// state; every mutating operation assigns a fresh one. See Version.
+	version uint64
 }
 
 type pairKey struct{ from, to NodeID }
@@ -37,8 +41,21 @@ func NewGraph() *Graph {
 		types:   NewTypeRegistry(),
 		byName:  make(map[string]NodeID),
 		edgeSet: make(map[pairKey]int),
+		version: nextVersionStamp(),
 	}
 }
+
+// Version implements Versioned: it identifies the graph's current
+// state with a process-unique stamp. Any mutation (AddNode, AddEdge,
+// RemoveEdge, ...) moves the graph to a fresh stamp, so cache entries
+// keyed by an old version can never be served against the new state.
+func (g *Graph) Version() (Version, bool) {
+	return Version{Stamp: g.version}, true
+}
+
+// bumpVersion moves the graph to a fresh state stamp. Every mutator
+// calls it; readers never do.
+func (g *Graph) bumpVersion() { g.version = nextVersionStamp() }
 
 // Errors returned by graph mutators.
 var (
@@ -79,6 +96,7 @@ func (g *Graph) AddNode(typ NodeTypeID, label string) NodeID {
 	if label != "" {
 		g.byName[label] = id
 	}
+	g.bumpVersion()
 	return id
 }
 
@@ -149,6 +167,7 @@ func (g *Graph) AddEdge(from, to NodeID, typ EdgeTypeID, weight float64) error {
 	g.outWeight[from] += weight
 	g.edgeSet[pairKey{from, to}]++
 	g.numEdges++
+	g.bumpVersion()
 	return nil
 }
 
@@ -204,6 +223,7 @@ func (g *Graph) RemoveEdge(from, to NodeID, typ EdgeTypeID) error {
 		g.edgeSet[k] = n
 	}
 	g.numEdges--
+	g.bumpVersion()
 	return nil
 }
 
@@ -294,6 +314,11 @@ func (g *Graph) Clone() *Graph {
 		outWeight: append([]float64(nil), g.outWeight...),
 		numEdges:  g.numEdges,
 		edgeSet:   make(map[pairKey]int, len(g.edgeSet)),
+		// A clone is a distinct mutable state even though its content
+		// currently matches the original: giving it a fresh stamp keeps
+		// later divergent mutations of the two graphs from ever
+		// colliding in a cache.
+		version: nextVersionStamp(),
 	}
 	for k, v := range g.byName {
 		c.byName[k] = v

@@ -30,6 +30,11 @@ type Overlay struct {
 	// pairDelta tracks HasEdge corrections: +1 per added typed edge,
 	// -1 per removed typed edge for the (from,to) pair.
 	pairDelta map[pairKey]int
+
+	// digest is the order-insensitive digest of the edit set, combined
+	// with the base version by Version. Two overlays built over the same
+	// base from the same edits — in any order — share it.
+	digest uint64
 }
 
 // NewOverlay builds a counterfactual view of base with the given edge
@@ -59,6 +64,7 @@ func NewOverlay(base View, removals, additions []Edge) (*Overlay, error) {
 		o.pairDelta[pairKey{e.From, e.To}]--
 		o.touch(e.From)
 		o.outWeight[e.From] -= w
+		o.digest += editDigest(editTagRemove, e.From, e.To, e.Type, 0)
 	}
 	for _, e := range additions {
 		if e.From == e.To {
@@ -89,8 +95,23 @@ func NewOverlay(base View, removals, additions []Edge) (*Overlay, error) {
 		o.pairDelta[pairKey{e.From, e.To}]++
 		o.touch(e.From)
 		o.outWeight[e.From] += e.Weight
+		o.digest += editDigest(editTagAdd, e.From, e.To, e.Type, e.Weight)
 	}
 	return o, nil
+}
+
+// Version implements Versioned: the base view's version with the edit
+// set's order-insensitive digest mixed in. Identical overlays rebuilt
+// from the same edits over the same base state share a version (so
+// repeated counterfactual probes can hit a cache), while a different
+// edit set — or a mutation of the base graph — moves it. No version is
+// available when the base view itself is unversioned.
+func (o *Overlay) Version() (Version, bool) {
+	base, ok := ViewVersion(o.base)
+	if !ok {
+		return Version{}, false
+	}
+	return base.Mix(o.digest), true
 }
 
 func baseEdgeWeight(base View, from, to NodeID, typ EdgeTypeID) (float64, bool) {
@@ -217,6 +238,7 @@ func (o *Overlay) Materialize() (*Graph, error) {
 		types:   o.Types(),
 		byName:  make(map[string]NodeID),
 		edgeSet: make(map[pairKey]int),
+		version: nextVersionStamp(),
 	}
 	var root *Graph
 	base := o.base

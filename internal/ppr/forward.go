@@ -2,6 +2,7 @@ package ppr
 
 import (
 	"context"
+	"fmt"
 
 	"github.com/why-not-xai/emigre/internal/hin"
 )
@@ -27,6 +28,12 @@ func NewForwardPush(p Params) *ForwardPush { return &ForwardPush{Params: p} }
 
 // Name implements Engine.
 func (e *ForwardPush) Name() string { return "forward-push" }
+
+// Identity implements Identifier: the push loop's output depends on α
+// and the residual threshold ε only.
+func (e *ForwardPush) Identity() string {
+	return fmt.Sprintf("forward-push/a=%g,eps=%g", e.Params.Alpha, e.Params.Epsilon)
+}
 
 // PushResult carries the estimate and residual vectors of a local-push
 // run, plus the number of individual pushes performed.

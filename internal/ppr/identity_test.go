@@ -1,0 +1,81 @@
+package ppr
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIdentityDistinguishesParams checks that every engine folds the
+// parameters it reads into its cache identity.
+func TestIdentityDistinguishesParams(t *testing.T) {
+	base := DefaultParams()
+	alt := base
+	alt.Alpha = 0.3
+	engines := func(p Params) []Identifier {
+		return []Identifier{NewPower(p), NewForwardPush(p), NewReversePush(p), NewMonteCarlo(p)}
+	}
+	for i, e := range engines(base) {
+		a, b := e.Identity(), engines(alt)[i].Identity()
+		if a == b {
+			t.Errorf("%T: identity ignores Alpha: %q", e, a)
+		}
+		if a != engines(base)[i].Identity() {
+			t.Errorf("%T: identity is not stable", e)
+		}
+	}
+}
+
+// TestMonteCarloIdentityIncludesSeed is the regression test for the
+// cache honesty of randomized estimates: two Monte Carlo engines that
+// differ only in their Seed (or Walks) must have distinct identities,
+// so their estimates can never collide under one cache key.
+func TestMonteCarloIdentityIncludesSeed(t *testing.T) {
+	p1 := DefaultParams()
+	p2 := p1
+	p2.Seed = p1.Seed + 1
+	if NewMonteCarlo(p1).Identity() == NewMonteCarlo(p2).Identity() {
+		t.Fatalf("identities collide across seeds: %q", NewMonteCarlo(p1).Identity())
+	}
+	p3 := p1
+	p3.Walks = p1.Walks * 2
+	if NewMonteCarlo(p1).Identity() == NewMonteCarlo(p3).Identity() {
+		t.Fatalf("identities collide across walk counts: %q", NewMonteCarlo(p1).Identity())
+	}
+	if !strings.Contains(NewMonteCarlo(p1).Identity(), "seed=") {
+		t.Fatalf("identity %q does not name its seed", NewMonteCarlo(p1).Identity())
+	}
+}
+
+// TestDeterministicIdentitiesIgnoreSeed pins the opposite property: the
+// deterministic engines' identities must NOT move with Seed or Walks,
+// or identical cached vectors would be needlessly recomputed.
+func TestDeterministicIdentitiesIgnoreSeed(t *testing.T) {
+	p1 := DefaultParams()
+	p2 := p1
+	p2.Seed = 99
+	p2.Walks = 7
+	for _, pair := range [][2]Identifier{
+		{NewPower(p1), NewPower(p2)},
+		{NewForwardPush(p1), NewForwardPush(p2)},
+		{NewReversePush(p1), NewReversePush(p2)},
+	} {
+		if pair[0].Identity() != pair[1].Identity() {
+			t.Errorf("%T: identity moves with Monte Carlo-only params: %q vs %q",
+				pair[0], pair[0].Identity(), pair[1].Identity())
+		}
+	}
+}
+
+// TestIdentitiesDistinctAcrossEngines guards against two different
+// algorithms sharing an identity string.
+func TestIdentitiesDistinctAcrossEngines(t *testing.T) {
+	p := DefaultParams()
+	seen := map[string]string{}
+	for _, e := range []Identifier{NewPower(p), NewForwardPush(p), NewReversePush(p), NewMonteCarlo(p)} {
+		id := e.Identity()
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("engines %T and %s share identity %q", e, prev, id)
+		}
+		seen[id] = id
+	}
+}

@@ -2,6 +2,7 @@ package ppr
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 
 	"github.com/why-not-xai/emigre/internal/hin"
@@ -26,6 +27,18 @@ func NewMonteCarlo(p Params) *MonteCarlo { return &MonteCarlo{Params: p} }
 
 // Name implements Engine.
 func (e *MonteCarlo) Name() string { return "monte-carlo" }
+
+// Identity implements Identifier. Unlike the deterministic engines, a
+// Monte Carlo estimate depends on the RNG stream: the walk count AND
+// the seed are part of the identity, so two differently-seeded
+// estimates can never collide under one cache key.
+func (e *MonteCarlo) Identity() string {
+	walks := e.Params.Walks
+	if walks <= 0 {
+		walks = 10000 // the engine's fallback, mirrored here for honesty
+	}
+	return fmt.Sprintf("monte-carlo/a=%g,walks=%d,seed=%d", e.Params.Alpha, walks, e.Params.Seed)
+}
 
 // FromSource samples Params.Walks random walks from s and returns the
 // empirical terminal distribution. The engine is deterministic for a

@@ -21,6 +21,12 @@ func NewPower(p Params) *Power { return &Power{Params: p} }
 // Name implements Engine.
 func (e *Power) Name() string { return "power" }
 
+// Identity implements Identifier: power iteration's output depends on
+// α, the convergence tolerance and the iteration cap.
+func (e *Power) Identity() string {
+	return fmt.Sprintf("power/a=%g,tol=%g,maxiter=%d", e.Params.Alpha, e.Params.Tol, e.Params.MaxIter)
+}
+
 // FromSource iterates p ← α·e_s + (1−α)·p·W until the L1 change drops
 // below Tol. Each iteration is O(E).
 func (e *Power) FromSource(g hin.View, s hin.NodeID) (Vector, error) {

@@ -143,6 +143,19 @@ type Engine interface {
 	Name() string
 }
 
+// Identifier is implemented by engines that can state their cache
+// identity: a stable string naming the algorithm together with every
+// parameter that influences its output. Two engine values with equal
+// identities are guaranteed to return the same vector for the same
+// (view, node) pair, so the identity is safe to use as a cache-key
+// component. Engines must include ONLY the parameters they actually
+// read — and ALL of them: the Monte Carlo engine's identity carries its
+// Walks and Seed because two differently seeded estimates differ, while
+// the deterministic push engines omit both.
+type Identifier interface {
+	Identity() string
+}
+
 // OutSliceView is satisfied by flat views (hin.CSR, hin.PatchedCSR)
 // that expose outgoing adjacency as shared slices; the forward-push hot
 // loop uses it to skip callback overhead.

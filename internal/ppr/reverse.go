@@ -2,6 +2,7 @@ package ppr
 
 import (
 	"context"
+	"fmt"
 
 	"github.com/why-not-xai/emigre/internal/hin"
 )
@@ -25,6 +26,12 @@ func NewReversePush(p Params) *ReversePush { return &ReversePush{Params: p} }
 
 // Name implements ReverseEngine.
 func (e *ReversePush) Name() string { return "reverse-push" }
+
+// Identity implements Identifier: the push loop's output depends on α
+// and the residual threshold ε only.
+func (e *ReversePush) Identity() string {
+	return fmt.Sprintf("reverse-push/a=%g,eps=%g", e.Params.Alpha, e.Params.Epsilon)
+}
 
 // ToTarget returns the estimate vector of Run.
 func (e *ReversePush) ToTarget(g hin.View, t hin.NodeID) (Vector, error) {

@@ -1,0 +1,310 @@
+package pprcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/why-not-xai/emigre/internal/ppr"
+)
+
+// Defaults used when the corresponding Config field is zero.
+const (
+	// DefaultMaxEntries bounds the total number of resident vectors.
+	DefaultMaxEntries = 4096
+	// DefaultMaxBytes bounds the total resident vector payload
+	// (256 MiB).
+	DefaultMaxBytes = 256 << 20
+	// DefaultShards is the lock-striping factor.
+	DefaultShards = 16
+)
+
+// entryOverhead approximates the per-entry bookkeeping cost (key,
+// list element, map slot) charged on top of the vector payload.
+const entryOverhead = 128
+
+// Config bounds a Cache.
+type Config struct {
+	// MaxEntries bounds the number of resident vectors across all
+	// shards. 0 means DefaultMaxEntries.
+	MaxEntries int
+	// MaxBytes bounds the resident payload across all shards, counting
+	// 8 bytes per vector element plus a small per-entry overhead.
+	// 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Shards is the lock-striping factor, rounded up to a power of two.
+	// 0 means DefaultShards.
+	Shards int
+}
+
+// Cache is a sharded, bounded, singleflight-deduplicating PPR-vector
+// cache. Create with New; the zero value is not usable.
+type Cache struct {
+	shards    []shard
+	shardMask uint64
+	// Per-shard budgets: the global bounds split evenly. A pathological
+	// workload hashing every key to one shard would see effective
+	// bounds of 1/Shards of the configured totals; with the SplitMix64
+	// key hash this does not happen in practice.
+	entryBudget int
+	byteBudget  int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapsed atomic.Int64
+	evictions atomic.Int64
+	inflight  atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+	flights map[Key]*flight
+}
+
+// entry is one resident vector.
+type entry struct {
+	key  Key
+	vec  ppr.Vector
+	size int64
+}
+
+// flight is one in-progress computation that concurrent lookups of the
+// same key attach to. waiters is guarded by the owning shard's mutex;
+// the computation is canceled when it drops to zero so a result nobody
+// wants is not computed to completion.
+type flight struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	vec     ppr.Vector
+	err     error
+}
+
+// New builds a cache with the given bounds.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	c := &Cache{
+		shards:      make([]shard, shards),
+		shardMask:   uint64(shards - 1),
+		entryBudget: max(1, cfg.MaxEntries/shards),
+		byteBudget:  max(1, cfg.MaxBytes/int64(shards)),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].flights = make(map[Key]*flight)
+	}
+	return c
+}
+
+// shardFor picks the shard of a key by hashing every key component.
+func (c *Cache) shardFor(k Key) *shard {
+	h := uint64(0x9e3779b97f4a7c15)
+	h = mix64(h ^ k.Version.Stamp)
+	h = mix64(h ^ k.Version.Digest)
+	h = mix64(h ^ uint64(k.Dir))
+	for i := 0; i < len(k.Engine); i++ {
+		h = (h ^ uint64(k.Engine[i])) * 0x100000001b3
+	}
+	h = mix64(h ^ uint64(uint32(k.Node)))
+	return &c.shards[h&c.shardMask]
+}
+
+// mix64 is the SplitMix64 finalizer (shared shape with internal/hin's
+// version mixing; duplicated to keep the dependency surface one-way).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Get returns the cached vector for k without computing on a miss.
+func (c *Cache) Get(ctx context.Context, k Key) (ppr.Vector, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	el, ok := sh.entries[k]
+	if ok {
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	countRequest(ctx, true)
+	return el.Value.(*entry).vec, true
+}
+
+// GetOrCompute returns the vector for k, computing it with compute on a
+// miss. Concurrent misses on the same key are collapsed: exactly one
+// compute call runs and every caller receives its result. The returned
+// boolean reports whether the call was answered from a resident entry.
+//
+// Cancellation semantics: a caller whose ctx ends while waiting returns
+// immediately with context.Cause(ctx); the computation keeps running
+// for the remaining waiters — and still populates the cache — unless
+// every waiter has gone away, in which case the context passed to
+// compute is canceled too.
+//
+// The returned vector is shared with other callers and must not be
+// mutated.
+func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Context) (ppr.Vector, error)) (ppr.Vector, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, context.Cause(ctx)
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		countRequest(ctx, true)
+		return el.Value.(*entry).vec, true, nil
+	}
+	if f, ok := sh.flights[k]; ok {
+		f.waiters++
+		sh.mu.Unlock()
+		c.collapsed.Add(1)
+		// A collapsed wait is charged as a hit at the request level: no
+		// computation runs on this request's behalf.
+		countRequest(ctx, true)
+		return c.wait(ctx, sh, f)
+	}
+	// Miss: this caller leads the computation. The compute context is
+	// detached from the leader's request (context.WithoutCancel keeps
+	// its values — tracing, request stats — but not its cancellation)
+	// so a canceled leader cannot poison the result for waiters that
+	// joined after it.
+	c.misses.Add(1)
+	countRequest(ctx, false)
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	sh.flights[k] = f
+	sh.mu.Unlock()
+	c.inflight.Add(1)
+	go func() {
+		vec, err := compute(fctx)
+		sh.mu.Lock()
+		f.vec, f.err = vec, err
+		delete(sh.flights, k)
+		if err == nil {
+			c.insertLocked(sh, k, vec)
+		}
+		sh.mu.Unlock()
+		c.inflight.Add(-1)
+		cancel()
+		close(f.done)
+	}()
+	return c.wait(ctx, sh, f)
+}
+
+// wait blocks until the flight completes or ctx ends. The hit flag of
+// the return triple is always false: the value did not come from a
+// resident entry.
+func (c *Cache) wait(ctx context.Context, sh *shard, f *flight) (ppr.Vector, bool, error) {
+	select {
+	case <-f.done:
+		return f.vec, false, f.err
+	case <-ctx.Done():
+		sh.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		sh.mu.Unlock()
+		if abandoned {
+			// Nobody is interested in the result any more; stop the
+			// computation (PR 1's cancellation plumbing aborts the PPR
+			// loops within microseconds).
+			f.cancel()
+		}
+		return nil, false, context.Cause(ctx)
+	}
+}
+
+// insertLocked adds a computed vector and enforces the shard budgets.
+// The caller holds sh.mu.
+func (c *Cache) insertLocked(sh *shard, k Key, vec ppr.Vector) {
+	if el, ok := sh.entries[k]; ok {
+		// A concurrent writer (distinct flight after an eviction race)
+		// already resides; keep the resident entry.
+		sh.lru.MoveToFront(el)
+		return
+	}
+	e := &entry{key: k, vec: vec, size: int64(len(vec))*8 + entryOverhead}
+	sh.entries[k] = sh.lru.PushFront(e)
+	sh.bytes += e.size
+	for (sh.lru.Len() > c.entryBudget || sh.bytes > c.byteBudget) && sh.lru.Len() > 0 {
+		tail := sh.lru.Back()
+		victim := tail.Value.(*entry)
+		sh.lru.Remove(tail)
+		delete(sh.entries, victim.key)
+		sh.bytes -= victim.size
+		c.evictions.Add(1)
+	}
+}
+
+// Stats returns a point-in-time snapshot of the counters and residency
+// gauges.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapsed: c.collapsed.Load(),
+		Evictions: c.evictions.Load(),
+		Inflight:  c.inflight.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += sh.lru.Len()
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every resident entry (in-flight computations are not
+// interrupted; they will repopulate on completion).
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[Key]*list.Element)
+		sh.lru.Init()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+}

@@ -1,6 +1,10 @@
 package rec
 
-import "github.com/why-not-xai/emigre/internal/hin"
+import (
+	"math"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+)
 
 // betaView decorates a hin.View so the transition probability out of a
 // node v becomes
@@ -53,6 +57,18 @@ func (b *betaView) InEdges(v hin.NodeID, yield func(hin.HalfEdge) bool) {
 		h.Weight = b.beta*h.Weight/total + (1-b.beta)/float64(deg)
 		return yield(h)
 	})
+}
+
+// Version implements hin.Versioned: the β-mix is a pure function of the
+// underlying view and β, so its version is the base version salted with
+// β's bit pattern. WrapBeta(g, 0.5) and g itself therefore never share
+// cache entries, while two wraps of the same view with the same β do.
+func (b *betaView) Version() (hin.Version, bool) {
+	base, ok := hin.ViewVersion(b.View)
+	if !ok {
+		return hin.Version{}, false
+	}
+	return base.Mix(math.Float64bits(b.beta)), true
 }
 
 func (b *betaView) OutWeightSum(v hin.NodeID) float64 {

@@ -22,6 +22,7 @@ import (
 
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/pprcache"
 )
 
 // Config parameterizes a Recommender.
@@ -82,7 +83,8 @@ type Recommender struct {
 	flat     *hin.CSR        // lazy CSR snapshot of view for fast push loops
 	scoring  *hin.PatchedCSR // set by WithUserPatch: single-row patch over a shared snapshot
 	engine   *ppr.ForwardPush
-	itemMask []bool // node type id -> recommendable
+	itemMask []bool          // node type id -> recommendable
+	cache    *pprcache.Cache // optional shared vector cache (SetCache)
 }
 
 // New builds a recommender over g. It returns an error for an invalid
@@ -181,6 +183,17 @@ func (r *Recommender) patchedRow(v hin.View, u hin.NodeID) *hin.PatchedCSR {
 // Config returns the recommender's configuration.
 func (r *Recommender) Config() Config { return r.cfg }
 
+// SetCache attaches a shared PPR-vector cache. Scores computed by this
+// recommender — and by every recommender later derived from it via
+// WithView or WithUserPatch — are then served from c when the scoring
+// view is versioned (graphs, overlays and their β-wraps all are).
+// Passing nil detaches the cache. Not safe to call concurrently with
+// scoring.
+func (r *Recommender) SetCache(c *pprcache.Cache) { r.cache = c }
+
+// Cache returns the attached vector cache, nil when none.
+func (r *Recommender) Cache() *pprcache.Cache { return r.cache }
+
 // View returns the transition view the recommender scores over: the
 // underlying graph wrapped with the β-mix. EMiGRe's contribution
 // functions must read transition weights from this view so heuristics
@@ -206,7 +219,21 @@ func (r *Recommender) Scores(u hin.NodeID) (ppr.Vector, error) {
 
 // ScoresContext is Scores with cancellation: the underlying PPR run
 // aborts with ctx.Err() once ctx is canceled or its deadline passes.
+//
+// When a cache is attached (SetCache) the vector may be shared with
+// concurrent callers and MUST be treated as read-only. The cache key is
+// derived from r.View() — the β-mixed transition view — which the
+// scoring snapshots (Flat, WithUserPatch's PatchedCSR) are exact
+// materializations of.
 func (r *Recommender) ScoresContext(ctx context.Context, u hin.NodeID) (ppr.Vector, error) {
+	if r.cache != nil {
+		if k, ok := pprcache.ForwardKey(r.view, r.engine, u); ok {
+			vec, _, err := r.cache.GetOrCompute(ctx, k, func(cctx context.Context) (ppr.Vector, error) {
+				return r.engine.FromSourceContext(cctx, r.ScoringView(), u)
+			})
+			return vec, err
+		}
+	}
 	return r.engine.FromSourceContext(ctx, r.ScoringView(), u)
 }
 

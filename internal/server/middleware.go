@@ -5,7 +5,10 @@ import (
 	"errors"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
+
+	"github.com/why-not-xai/emigre/internal/pprcache"
 )
 
 // requestInfo accumulates per-request details the logging middleware
@@ -58,11 +61,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // withMiddleware wraps the route tree with panic recovery and
 // structured request logging: one line per request with method, path,
-// status, duration and (for explanation requests) the CHECK count.
+// status, duration, (for explanation requests) the CHECK count and
+// (when the vector cache is enabled) the request's cache hit/miss
+// tally.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		info := &requestInfo{}
-		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
+		ctx := context.WithValue(r.Context(), requestInfoKey{}, info)
+		var rs *pprcache.RequestStats
+		if s.cache != nil {
+			rs = &pprcache.RequestStats{}
+			ctx = pprcache.WithRequestStats(ctx, rs)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() {
@@ -74,13 +85,15 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 					sw.status = http.StatusInternalServerError
 				}
 			}
+			line := ""
 			if info.hasTests {
-				s.log.Printf("%s %s %d %s tests=%d",
-					r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), info.tests)
-			} else {
-				s.log.Printf("%s %s %d %s",
-					r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+				line = " tests=" + strconv.Itoa(info.tests)
 			}
+			if rs != nil && (rs.Hits() > 0 || rs.Misses() > 0) {
+				line += " cache=" + strconv.FormatInt(rs.Hits(), 10) + "h/" + strconv.FormatInt(rs.Misses(), 10) + "m"
+			}
+			s.log.Printf("%s %s %d %s%s",
+				r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), line)
 		}()
 		next.ServeHTTP(sw, r)
 	})

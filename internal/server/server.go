@@ -75,6 +75,12 @@ type Config struct {
 	// ones are rejected with 503. 0 means DefaultQueueDepth; negative
 	// disables queueing entirely.
 	QueueDepth int
+	// CacheEntries bounds the shared PPR-vector cache by entry count.
+	// 0 means the pprcache default (4096); negative disables caching.
+	CacheEntries int
+	// CacheBytes bounds the same cache by resident payload bytes.
+	// 0 means the pprcache default (256 MiB); negative disables caching.
+	CacheBytes int64
 	// Logger receives the per-request log lines and server warnings.
 	// Nil means log.Default().
 	Logger *log.Logger
@@ -93,6 +99,9 @@ type Server struct {
 	timeout  time.Duration
 	log      *log.Logger
 	draining atomic.Bool
+	// cache is the shared PPR-vector cache behind /recommend's forward
+	// vectors and /explain's searches; nil when disabled by Config.
+	cache *emigre.PPRCache
 }
 
 // New builds a server and eagerly warms the recommender's flat
@@ -123,14 +132,33 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = log.Default()
 	}
+	// The vector cache is shared by the recommender (forward vectors
+	// behind /recommend) and the explainer (reverse columns and CHECK
+	// scores behind /explain). The recommender is rebound via a copy so
+	// the caller's instance is not mutated.
+	var cache *emigre.PPRCache
+	r := cfg.Recommender
+	if cfg.CacheEntries >= 0 && cfg.CacheBytes >= 0 {
+		cache = emigre.NewPPRCache(emigre.PPRCacheConfig{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+		})
+		rc := *r
+		rc.SetCache(cache)
+		r = &rc
+		cfg.Options.Cache = cache
+	} else {
+		cfg.Options.DisableCache = true
+	}
 	s := &Server{
 		g:        cfg.Graph,
-		r:        cfg.Recommender,
-		ex:       emigre.NewExplainer(cfg.Graph, cfg.Recommender, cfg.Options),
+		r:        r,
+		ex:       emigre.NewExplainer(cfg.Graph, r, cfg.Options),
 		adm:      newAdmission(int64(capacity), queue),
 		capacity: int64(capacity),
 		timeout:  timeout,
 		log:      logger,
+		cache:    cache,
 	}
 	s.r.Flat() // warm the shared snapshot before concurrency starts
 	s.mux = http.NewServeMux()
@@ -219,11 +247,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			DegreeStd: r.DegreeStd,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"nodes": s.g.NumNodes(),
 		"edges": s.g.NumEdges(),
 		"types": rows,
-	})
+	}
+	if s.cache != nil {
+		body["cache"] = s.cache.Stats()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 type scoredItem struct {
