@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenBadModule pins the CLI contract end to end: diagnostics
+// print in the canonical "file:line:col: [analyzer] message" form with
+// module-root-relative slash paths, and a tree with violations exits 1.
+func TestGoldenBadModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "badmod.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", errb.String())
+	}
+}
+
+// TestCleanSubsetExitsZero runs a subset of analyzers the fixture does
+// not violate: clean output, exit 0.
+func TestCleanSubsetExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-run", "ctxpoll,versionbump,rawengine", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+// TestListAnalyzers checks -list names every analyzer of the suite.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-list"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxpoll", "errcmp", "floateq", "rawengine", "versionbump"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzerIsUsageError checks -run with a bogus name exits 2.
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "nosuch"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module badmod.example/m
+
+go 1.24.0

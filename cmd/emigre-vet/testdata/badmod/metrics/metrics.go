@@ -1,0 +1,26 @@
+// Package metrics is a deliberately broken fixture for the emigre-vet
+// golden test: it violates floateq and errcmp.
+package metrics
+
+import "errors"
+
+var ErrEmpty = errors.New("empty")
+
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+func IsEmpty(err error) bool {
+	return err == ErrEmpty
+}
+
+func Same(a, b float64) bool {
+	return a == b
+}

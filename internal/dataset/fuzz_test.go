@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRawCSV checks the CSV importer never panics on hostile input
+// and that any dataset it accepts round-trips through the CSV writers.
+func FuzzReadRawCSV(f *testing.F) {
+	f.Add("item_id,categories\n0,0\n1,0;1\n",
+		"user_id,item_id,star_rating,review_body\n0,0,5,great\n1,1,4,\n")
+	f.Add("item_id,categories\n0,2\n",
+		"user_id,item_id,star_rating,review_body\n0,0,4,\"quoted, text\"\n")
+	f.Add("item_id,categories\n", "user_id,item_id,star_rating,review_body\n")
+	f.Add("", "")
+	f.Add("item_id,categories\n0,\n", "user_id,item_id,star_rating,review_body\n0,0,9,x\n")
+	f.Fuzz(func(t *testing.T, items, ratings string) {
+		cfg := SmallConfig()
+		raw, err := ReadRawCSV(cfg, strings.NewReader(items), strings.NewReader(ratings))
+		if err != nil {
+			return
+		}
+		var itemsOut, ratingsOut bytes.Buffer
+		if err := raw.WriteItemsCSV(&itemsOut); err != nil {
+			t.Fatalf("WriteItemsCSV on accepted dataset: %v", err)
+		}
+		if err := raw.WriteRatingsCSV(&ratingsOut); err != nil {
+			t.Fatalf("WriteRatingsCSV on accepted dataset: %v", err)
+		}
+		raw2, err := ReadRawCSV(cfg, bytes.NewReader(itemsOut.Bytes()), bytes.NewReader(ratingsOut.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own CSV output: %v\nitems:\n%s\nratings:\n%s", err, itemsOut.Bytes(), ratingsOut.Bytes())
+		}
+		if len(raw2.Ratings) != len(raw.Ratings) || len(raw2.ItemCategories) != len(raw.ItemCategories) {
+			t.Errorf("round trip changed sizes: %d/%d ratings, %d/%d items",
+				len(raw.Ratings), len(raw2.Ratings), len(raw.ItemCategories), len(raw2.ItemCategories))
+		}
+		for i := range raw.Ratings {
+			if raw.Ratings[i] != raw2.Ratings[i] {
+				t.Errorf("rating %d changed in round trip: %+v vs %+v", i, raw.Ratings[i], raw2.Ratings[i])
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/why-not-xai/emigre/internal/embed"
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -216,7 +217,7 @@ func linkSimilarReviews(g *hin.Graph, types Types, raw *Raw, reviews []reviewRec
 	for _, idx := range order {
 		ps := best[idx]
 		sort.Slice(ps, func(i, j int) bool {
-			if ps[i].sim != ps[j].sim {
+			if !fmath.Eq(ps[i].sim, ps[j].sim) {
 				return ps[i].sim > ps[j].sim
 			}
 			if ps[i].a != ps[j].a {

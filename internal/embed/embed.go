@@ -15,6 +15,8 @@ import (
 	"math"
 	"strings"
 	"unicode"
+
+	"github.com/why-not-xai/emigre/internal/fmath"
 )
 
 // DefaultDim is the embedding dimensionality used by the dataset
@@ -84,7 +86,7 @@ func Cosine(a, b []float64) float64 {
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
-	if na == 0 || nb == 0 {
+	if fmath.Eq(na, 0) || fmath.Eq(nb, 0) {
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
@@ -95,7 +97,7 @@ func normalize(v []float64) {
 	for _, x := range v {
 		n += x * x
 	}
-	if n == 0 {
+	if fmath.Eq(n, 0) {
 		return
 	}
 	n = math.Sqrt(n)

@@ -11,6 +11,9 @@ func combinations(n, c int, visit func(idx []int) bool) {
 	for i := range idx {
 		idx[i] = i
 	}
+	// The enumeration itself has no context; every caller polls for
+	// cancellation inside visit and stops the loop by returning false.
+	//lint:allow ctxpoll callers poll ctx in the visit callback
 	for {
 		if !visit(idx) {
 			return

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
 	"github.com/why-not-xai/emigre/internal/pprcache"
@@ -265,7 +266,7 @@ const (
 )
 
 func (o Options) withDefaults() Options {
-	if o.AddEdgeWeight == 0 {
+	if fmath.Eq(o.AddEdgeWeight, 0) {
 		o.AddEdgeWeight = DefaultAddEdgeWeight
 	}
 	if o.TopKTargets == 0 {
@@ -280,7 +281,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxTests == 0 {
 		o.MaxTests = DefaultMaxTests
 	}
-	if o.ReweightTo == 0 {
+	if fmath.Eq(o.ReweightTo, 0) {
 		o.ReweightTo = DefaultReweightTo
 	}
 	if o.TargetRank == 0 {
@@ -766,7 +767,7 @@ func (s *session) dynamicCheck(r2 *rec.Recommender) (bool, hin.NodeID, error) {
 		if !r2.IsCandidate(s.q.User, id) {
 			continue
 		}
-		if top == hin.InvalidNode || est[v] > best || (est[v] == best && id < top) {
+		if top == hin.InvalidNode || fmath.Before(est[v], best, int(id), int(top)) {
 			top = id
 			best = est[v]
 		}
@@ -800,7 +801,7 @@ func (s *session) dynamicRankAccepted(r2 *rec.Recommender, est ppr.Vector, k int
 			if id == a || !r2.IsCandidate(s.q.User, id) {
 				continue
 			}
-			if est[v] > sa || (est[v] == sa && id < a) {
+			if fmath.Before(est[v], sa, int(id), int(a)) {
 				better++
 				if better >= k {
 					break

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
 )
@@ -131,7 +132,7 @@ func (s *session) exhaustive(withCheck bool) (*Explanation, error) {
 			return true
 		})
 		sort.Slice(survivors, func(i, j int) bool {
-			if survivors[i].margin != survivors[j].margin {
+			if !fmath.Eq(survivors[i].margin, survivors[j].margin) {
 				return survivors[i].margin > survivors[j].margin
 			}
 			return lexLess(survivors[i].idx, survivors[j].idx)
@@ -227,7 +228,7 @@ func (s *session) exhaustiveCandidates() []candidate {
 	if limit > 0 && len(h) > limit {
 		sort.Slice(h, func(i, j int) bool {
 			ai, aj := math.Abs(h[i].contribution), math.Abs(h[j].contribution)
-			if ai != aj {
+			if !fmath.Eq(ai, aj) {
 				return ai > aj
 			}
 			return h[i].edge.To < h[j].edge.To

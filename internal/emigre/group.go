@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -139,10 +140,7 @@ func (e *Explainer) validGroupMembers(ctx context.Context, q GroupQuery) ([]hin.
 		return nil, fmt.Errorf("%w (user %d)", ErrEmptyGroup, q.User)
 	}
 	sort.Slice(members, func(i, j int) bool {
-		if scores[members[i]] != scores[members[j]] {
-			return scores[members[i]] > scores[members[j]]
-		}
-		return members[i] < members[j]
+		return fmath.Before(scores[members[i]], scores[members[j]], int(members[i]), int(members[j]))
 	})
 	return members, nil
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"github.com/why-not-xai/emigre/internal/fmath"
 )
 
 // powerset implements Algorithm 4: restrict H to positive-contribution
@@ -46,7 +48,7 @@ func (s *session) powerset() (*Explanation, error) {
 			return true
 		})
 		sort.Slice(combos, func(i, j int) bool {
-			if combos[i].total != combos[j].total {
+			if !fmath.Eq(combos[i].total, combos[j].total) {
 				return combos[i].total > combos[j].total
 			}
 			return lexLess(combos[i].idx, combos[j].idx)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -159,7 +160,7 @@ func (s *session) targetTypeMask() []bool {
 // (To, Type) for determinism.
 func sortCandidates(cands []candidate) {
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].contribution != cands[j].contribution {
+		if !fmath.Eq(cands[i].contribution, cands[j].contribution) {
 			return cands[i].contribution > cands[j].contribution
 		}
 		if cands[i].edge.To != cands[j].edge.To {

@@ -152,7 +152,7 @@ func (rn *Runner) Scenarios(users []hin.NodeID, topN, maxPerUser int) ([]Scenari
 	for _, u := range users {
 		list, err := rn.r.TopN(u, topN)
 		if err != nil {
-			if err == rec.ErrNoCandidates {
+			if errors.Is(err, rec.ErrNoCandidates) {
 				continue
 			}
 			// Skip users the recommender cannot serve, record nothing.

@@ -1,0 +1,158 @@
+package hin
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTSV checks the TSV parser never panics and that any graph it
+// accepts round-trips: write → read → write reproduces the bytes.
+func FuzzReadTSV(f *testing.F) {
+	f.Add([]byte("# nodes\n0\tuser\talice\n1\titem\tbook\n# edges\n0\t1\trated\t0.8\n"))
+	f.Add([]byte("# nodes\n0\tuser\n# edges\n"))
+	f.Add([]byte("# edges\n0\t1\trated\tnot-a-number\n"))
+	f.Add([]byte("0\tuser\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadTSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := g.WriteTSV(&first); err != nil {
+			t.Fatalf("WriteTSV on accepted graph: %v", err)
+		}
+		g2, err := ReadTSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own TSV output: %v\noutput:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := g2.WriteTSV(&second); err != nil {
+			t.Fatalf("WriteTSV on round-tripped graph: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("TSV round trip not stable\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Errorf("round trip changed sizes: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadJSON is the JSON twin of FuzzReadTSV.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"id":0,"type":"user","label":"alice"},{"id":1,"type":"item"}],"edges":[{"from":0,"to":1,"type":"rated","weight":0.8}]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"id":1,"type":"user"}]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := g.WriteJSON(&first); err != nil {
+			t.Fatalf("WriteJSON on accepted graph: %v", err)
+		}
+		g2, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own JSON output: %v\noutput:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := g2.WriteJSON(&second); err != nil {
+			t.Fatalf("WriteJSON on round-tripped graph: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("JSON round trip not stable\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+// fuzzBaseGraph builds the small fixed graph overlay-digest fuzzing
+// edits against.
+func fuzzBaseGraph() (*Graph, EdgeTypeID, EdgeTypeID) {
+	g := NewGraph()
+	user := g.Types().NodeType("user")
+	rated := g.Types().EdgeType("rated")
+	similar := g.Types().EdgeType("similar")
+	for i := 0; i < 6; i++ {
+		g.AddNode(user, "")
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j || (i+j)%2 == 0 {
+				continue
+			}
+			_ = g.AddEdge(NodeID(i), NodeID(j), rated, float64(i+j)/10+0.1)
+		}
+	}
+	return g, rated, similar
+}
+
+// decodeEdits derives removal/addition lists from fuzz bytes, five
+// bytes per edit. The edits are not necessarily valid — NewOverlay's
+// error paths are part of the surface under test.
+func decodeEdits(g *Graph, rated, similar EdgeTypeID, data []byte) (removals, additions []Edge) {
+	types := []EdgeTypeID{rated, similar}
+	for i := 0; i+5 <= len(data); i += 5 {
+		e := Edge{
+			From:   NodeID(data[i+1] % 7), // 6 is deliberately out of range
+			To:     NodeID(data[i+2] % 7),
+			Type:   types[data[i+3]%2],
+			Weight: float64(data[i+4]%100+1) / 10,
+		}
+		if data[i]%2 == 0 {
+			removals = append(removals, e)
+		} else {
+			additions = append(additions, e)
+		}
+	}
+	return removals, additions
+}
+
+// FuzzOverlayDigest checks the Overlay version contract: the same edit
+// set applied in any order yields the same Version, and acceptance is
+// order-insensitive too.
+func FuzzOverlayDigest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 0, 5})
+	f.Add([]byte{1, 0, 2, 1, 9, 1, 2, 0, 1, 3})
+	f.Add([]byte{0, 0, 1, 0, 5, 1, 0, 1, 0, 7, 0, 1, 2, 0, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, rated, similar := fuzzBaseGraph()
+		removals, additions := decodeEdits(g, rated, similar, data)
+
+		o1, err1 := NewOverlay(g, removals, additions)
+
+		rev := func(in []Edge) []Edge {
+			out := make([]Edge, len(in))
+			for i, e := range in {
+				out[len(in)-1-i] = e
+			}
+			return out
+		}
+		o2, err2 := NewOverlay(g, rev(removals), rev(additions))
+
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("acceptance depends on edit order: forward err=%v, reversed err=%v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		v1, ok1 := o1.Version()
+		v2, ok2 := o2.Version()
+		if ok1 != ok2 {
+			t.Fatalf("version availability depends on edit order")
+		}
+		if v1 != v2 {
+			t.Errorf("same edits in different order produced different versions: %v vs %v", v1, v2)
+		}
+		if len(removals)+len(additions) > 0 {
+			base, _ := ViewVersion(g)
+			if v1 == base {
+				t.Errorf("non-empty edit set left the base version unchanged")
+			}
+		}
+	})
+}

@@ -350,6 +350,9 @@ func (g *Graph) Validate() error {
 			}
 			found := false
 			for _, r := range g.in[h.Node] {
+				// The in-list entry is a literal copy of the out-list
+				// entry, so bitwise weight equality is the invariant.
+				//lint:allow floateq in/out lists must carry bit-identical copies
 				if r.Node == NodeID(v) && r.Type == h.Type && r.Weight == h.Weight {
 					found = true
 					break

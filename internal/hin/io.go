@@ -69,6 +69,12 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if n.ID != i {
 			return nil, fmt.Errorf("hin: node ids must be dense, got %d at position %d", n.ID, i)
 		}
+		// AddNode panics on duplicate labels; validate file input here.
+		if n.Label != "" {
+			if _, exists := g.NodeByLabel(n.Label); exists {
+				return nil, fmt.Errorf("hin: node %d: duplicate label %q", i, n.Label)
+			}
+		}
 		g.AddNode(g.types.NodeType(n.Type), n.Label)
 	}
 	for _, e := range jg.Edges {
@@ -127,6 +133,12 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 			continue
 		}
 		fields := strings.Split(text, "\t")
+		// Trim each field: edge whitespace cannot round-trip through the
+		// line-level TrimSpace above (found by FuzzReadTSV), so types and
+		// labels are stored trimmed.
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
 		switch section {
 		case "nodes":
 			if len(fields) < 2 {
@@ -139,9 +151,22 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 			if id != g.NumNodes() {
 				return nil, fmt.Errorf("hin: line %d: node ids must be dense, got %d want %d", line, id, g.NumNodes())
 			}
+			// An empty type name would round-trip to a line whose trailing
+			// tabs are trimmed away on re-read (found by FuzzReadTSV).
+			if fields[1] == "" {
+				return nil, fmt.Errorf("hin: line %d: empty node type", line)
+			}
 			label := ""
 			if len(fields) >= 3 {
 				label = fields[2]
+			}
+			// AddNode panics on duplicate labels (a programming-error
+			// contract); file input must be validated here instead
+			// (found by FuzzReadTSV).
+			if label != "" {
+				if _, exists := g.NodeByLabel(label); exists {
+					return nil, fmt.Errorf("hin: line %d: duplicate node label %q", line, label)
+				}
 			}
 			g.AddNode(g.types.NodeType(fields[1]), label)
 		case "edges":
@@ -155,6 +180,9 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 			to, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("hin: line %d: bad to: %w", line, err)
+			}
+			if fields[2] == "" {
+				return nil, fmt.Errorf("hin: line %d: empty edge type", line)
 			}
 			w, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {

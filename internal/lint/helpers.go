@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// parentMap records the parent of every AST node of a file, letting
+// analyzers climb from a flagged node to its enclosing loops and
+// function declarations without a full CFG.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(file *ast.File) parentMap {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFuncName returns the name of the innermost *declared*
+// function containing n ("" inside a function literal or at top
+// level). Analyzers that approve specific routing helpers climb
+// through closures: a closure inside an approved helper is part of the
+// helper.
+func enclosingFuncName(parents parentMap, n ast.Node) string {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if fd, ok := p.(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// typeOf is Info.TypeOf, tolerating missing entries (nil on a tree
+// with type errors).
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}
+
+// rootIdent strips selectors, indexing, stars and parens off an
+// expression and returns the base identifier ("g" for g.out[v]),
+// nil when the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// firstField returns the name of the field selected directly on the
+// root identifier ("out" for g.out[v], "version" for g.version), ""
+// when the expression is the bare identifier.
+func firstField(e ast.Expr) string {
+	field := ""
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return field
+		case *ast.SelectorExpr:
+			field = x.Sel.Name
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// namedOf unwraps pointers and returns the named type of t, nil when
+// t is not (a pointer to) a named type.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typePkgName returns the name of the package the (possibly pointer)
+// named type t was declared in, "" for unnamed or universe types.
+func typePkgName(t types.Type) string {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name()
+}

@@ -1,0 +1,225 @@
+// Package lint is a stdlib-only static-analysis suite enforcing the
+// codebase's correctness invariants: the conventions PRs establish
+// (context polling in unbounded search loops, version bumps on graph
+// mutation, cache-routed engine calls, epsilon-helper float
+// comparisons, errors.Is for sentinels) are machine-checked here
+// instead of re-audited by hand. The suite is built purely on go/ast,
+// go/parser and go/types — no golang.org/x/tools dependency — and is
+// driven by cmd/emigre-vet as well as the package's own repo-wide
+// self test.
+//
+// A diagnostic can be suppressed with a directive comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line, on the line directly above it, or in the
+// doc comment of the enclosing function declaration (which approves
+// the whole function — how the epsilon/tie-break helpers in
+// internal/fmath are allowed to spell out the comparisons everyone
+// else must route through them). The reason is mandatory: an
+// unexplained suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects the package and reports violations via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Suite returns the full analyzer suite in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		CtxPoll(),
+		ErrCmp(),
+		FloatEq(),
+		RawEngine(),
+		VersionBump(),
+	}
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Analyzer names the analyzer that fired.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the diagnostic in the canonical
+// "file:line:col: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Fset translates token positions.
+	Fset *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of running a suite over a set of packages.
+type Result struct {
+	// Diagnostics holds every surviving (non-suppressed) violation,
+	// sorted by file, line, column, analyzer.
+	Diagnostics []Diagnostic
+	// Packages counts the packages analyzed.
+	Packages int
+	// TypeErrors aggregates type-checking problems across packages. A
+	// tree that builds cleanly has none; anything here means the
+	// analyzers ran over incomplete type information.
+	TypeErrors []error
+}
+
+// Run loads the packages matched by patterns from the module described
+// by cfg and applies every analyzer, honoring //lint:allow directives.
+func Run(cfg LoadConfig, analyzers []*Analyzer, patterns []string) (*Result, error) {
+	loader, err := NewLoader(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(pkgs, analyzers), nil
+}
+
+// Analyze applies the analyzers to already-loaded packages.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{Packages: len(pkgs)}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		res.TypeErrors = append(res.TypeErrors, pkg.TypeErrors...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, diags: &raw}
+			a.Run(pass)
+		}
+		dirs := collectDirectives(pkg, known, &raw)
+		for _, d := range raw {
+			if !dirs.suppressed(d) {
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+// allowKey identifies the scope one directive suppresses: an analyzer
+// on one line of one file.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type directives struct {
+	allow map[allowKey]bool
+}
+
+const allowPrefix = "//lint:allow "
+
+// collectDirectives parses every //lint:allow comment of the package.
+// A line directive suppresses its own line and the next line; a
+// directive in a function declaration's doc comment suppresses the
+// whole function body. Malformed directives (unknown analyzer, missing
+// reason) are appended to raw as diagnostics so they cannot silently
+// mask anything.
+func collectDirectives(pkg *Package, known map[string]bool, raw *[]Diagnostic) *directives {
+	d := &directives{allow: map[allowKey]bool{}}
+	fset := pkg.Fset
+	for _, file := range pkg.Files {
+		funcDoc := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDoc[fd.Doc] = fd
+			}
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := fset.Position(c.Pos())
+				if !known[name] {
+					*raw = append(*raw, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", name),
+					})
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					*raw = append(*raw, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow %s needs a reason", name),
+					})
+					continue
+				}
+				if fd, isDoc := funcDoc[cg]; isDoc {
+					start := fset.Position(fd.Pos()).Line
+					end := fset.Position(fd.End()).Line
+					for line := start; line <= end; line++ {
+						d.allow[allowKey{pos.Filename, line, name}] = true
+					}
+					continue
+				}
+				d.allow[allowKey{pos.Filename, pos.Line, name}] = true
+				d.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) suppressed(diag Diagnostic) bool {
+	return d.allow[allowKey{diag.Pos.Filename, diag.Pos.Line, diag.Analyzer}]
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestRepoIsClean is the meta-test the suite exists for: it runs every
+// analyzer over the actual repository, so `go test ./...` fails the
+// moment a change violates an enforced invariant. Suppressions require
+// a reasoned //lint:allow directive, which this test also validates.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	res, err := Run(LoadConfig{Dir: "../.."}, Suite(), []string{"./..."})
+	if err != nil {
+		t.Fatalf("running suite over repo: %v", err)
+	}
+	for _, te := range res.TypeErrors {
+		t.Errorf("type error (analyzers ran over incomplete types): %v", te)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d)
+	}
+	// Sanity-check the load actually covered the tree: a walk bug that
+	// silently loaded nothing would make this test pass vacuously.
+	if res.Packages < 15 {
+		t.Errorf("suite analyzed only %d packages; expected the whole module (>= 15)", res.Packages)
+	}
+}

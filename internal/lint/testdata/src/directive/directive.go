@@ -1,0 +1,34 @@
+// Fixture for the //lint:allow directive machinery. Expectations for
+// this file are hard-coded in analyzers_test.go (a trailing comment on
+// a directive line would be parsed as part of the directive's reason,
+// so `// want` markers cannot be used here).
+package directive
+
+// bad: an unknown analyzer name is reported, not silently ignored.
+func unknown(x, y float64) bool {
+	//lint:allow nosuchcheck because typos happen
+	return x == y
+}
+
+// bad: a reasonless suppression is itself a violation and suppresses
+// nothing.
+func reasonless(x, y float64) bool {
+	//lint:allow floateq
+	return x == y
+}
+
+// good: a well-formed directive suppresses its own and the next line.
+func allowed(x, y float64) bool {
+	//lint:allow floateq exact sentinel documented
+	return x == y
+}
+
+// good: a directive in the doc comment approves the whole function.
+//
+//lint:allow floateq helper spells out exact comparisons
+func helper(x, y, z float64) bool {
+	if x == y {
+		return true
+	}
+	return y == z
+}

@@ -1,0 +1,36 @@
+// Fixture for the errcmp analyzer.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotFound = errors.New("not found")
+
+func lookup(id int) error {
+	if id == 0 {
+		return fmt.Errorf("lookup: %w", ErrNotFound)
+	}
+	return nil
+}
+
+// bad: identity comparison misses wrapped sentinels.
+func bad(id int) bool {
+	err := lookup(id)
+	return err == ErrNotFound // want "errors.Is"
+}
+
+// bad: != has the same wrapping blind spot.
+func alsoBad(id int) bool {
+	if err := lookup(id); err != ErrNotFound { // want "errors.Is"
+		return false
+	}
+	return true
+}
+
+// good: nil checks are exempt.
+func nilCheck(id int) bool { return lookup(id) == nil }
+
+// good: errors.Is survives wrapping.
+func good(id int) bool { return errors.Is(lookup(id), ErrNotFound) }

@@ -1,0 +1,23 @@
+// Fixture for the floateq analyzer.
+package floateq
+
+// bad: raw float64 equality.
+func eq(a, b float64) bool { return a == b } // want "fmath"
+
+// bad: float32 inequality.
+func ne(a, b float32) bool { return a != b } // want "fmath"
+
+// bad: comparison against an untyped constant is still a float
+// comparison.
+func zero(x float64) bool { return x == 0 } // want "fmath"
+
+// good: ordering comparisons carry no equality hazard.
+func less(a, b float64) bool { return a < b }
+
+// good: integer equality.
+func ieq(a, b int) bool { return a == b }
+
+// good: a doc-comment directive approves the whole function.
+//
+//lint:allow floateq exact sentinel comparison documented here
+func sentinel(x float64) bool { return x == -1 }

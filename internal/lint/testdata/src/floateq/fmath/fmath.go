@@ -1,0 +1,8 @@
+// Package fmath shares its name with the approved helper package:
+// floateq skips any package of that name wholesale, so the inline
+// comparisons below must produce no diagnostics.
+package fmath
+
+func Eq(a, b float64) bool { return a == b }
+
+func Ne(a, b float64) bool { return a != b }

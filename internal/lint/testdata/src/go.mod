@@ -1,0 +1,3 @@
+module fixture.example/m
+
+go 1.24.0

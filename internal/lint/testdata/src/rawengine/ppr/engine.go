@@ -1,0 +1,15 @@
+// Fixture engine package for the rawengine analyzer: the package is
+// named ppr so methods on its types count as engine entry points.
+package ppr
+
+type Vector []float64
+
+type ReversePush struct{}
+
+func NewReversePush() *ReversePush { return &ReversePush{} }
+
+func (*ReversePush) ToTarget(t int) Vector { return nil }
+
+type Engine interface {
+	FromSource(s int) Vector
+}

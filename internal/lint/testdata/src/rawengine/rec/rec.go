@@ -1,0 +1,29 @@
+// Fixture caller package for the rawengine analyzer: named rec, one of
+// the cache-routed packages.
+package rec
+
+import "fixture.example/m/rawengine/ppr"
+
+type Recommender struct {
+	engine ppr.Engine
+}
+
+// bad: computes a column bypassing the cache.
+func (r *Recommender) Contributions(t int) ppr.Vector {
+	return ppr.NewReversePush().ToTarget(t) // want "cache"
+}
+
+// bad: interface dispatch is still a raw engine call.
+func (r *Recommender) Scores(u int) ppr.Vector {
+	return r.engine.FromSource(u) // want "cache"
+}
+
+// good: the designated routing helper is the cache-miss compute path.
+func (r *Recommender) reverseColumn(t int) ppr.Vector {
+	return ppr.NewReversePush().ToTarget(t)
+}
+
+// good: callers route through the helper.
+func (r *Recommender) Shares(t int) ppr.Vector {
+	return r.reverseColumn(t)
+}

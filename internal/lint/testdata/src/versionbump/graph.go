@@ -1,0 +1,85 @@
+// Fixture for the versionbump analyzer: Graph and Overlay are stamped
+// types (they declare version / digest fields), so their exported
+// mutating methods must touch the stamp on every return path.
+package hin
+
+// Graph is a stamped type: it carries a version field.
+type Graph struct {
+	version int
+	nodes   int
+	edges   map[int]int
+}
+
+func (g *Graph) bumpVersion() { g.version++ }
+
+// good: mutation followed by a bump.
+func (g *Graph) AddNode() int {
+	g.nodes++
+	g.bumpVersion()
+	return g.nodes
+}
+
+// bad: mutates and falls off the end without bumping.
+func (g *Graph) SetNodes(n int) {
+	g.nodes = n
+} // want "version stamp"
+
+// bad: the early-return path escapes the mutation unbumped.
+func (g *Graph) Trim(n int) bool {
+	g.nodes = n
+	if n == 0 {
+		return false // want "without touching"
+	}
+	g.bumpVersion()
+	return true
+}
+
+// good: bumps transitively via AddNode.
+func (g *Graph) AddTwo() {
+	g.AddNode()
+	g.AddNode()
+}
+
+// good: a deferred bump covers every return.
+func (g *Graph) Clear() {
+	defer g.bumpVersion()
+	g.edges = nil
+}
+
+// good: read-only methods carry no obligation.
+func (g *Graph) NumNodes() int { return g.nodes }
+
+// good: unexported mutators are their exported callers' problem.
+func (g *Graph) reset() { g.nodes = 0 }
+
+// bad: delete() on a receiver map is a mutation.
+func (g *Graph) RemoveEdge(k int) {
+	delete(g.edges, k)
+} // want "version stamp"
+
+// Overlay is stamped through its digest field.
+type Overlay struct {
+	digest uint64
+	adds   []int
+}
+
+func (o *Overlay) bumpDigest() { o.digest ^= 1 }
+
+// bad: one branch bumps, the other escapes — the stamp counts as
+// touched only when every surviving path touched it.
+func (o *Overlay) Push(v int) {
+	o.adds = append(o.adds, v)
+	if v > 0 {
+		o.bumpDigest()
+	}
+} // want "version stamp"
+
+// good: both branches end bumped.
+func (o *Overlay) PushBoth(v int) {
+	o.adds = append(o.adds, v)
+	if v > 0 {
+		o.bumpDigest()
+	} else {
+		o.digest++
+	}
+}

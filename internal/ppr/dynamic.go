@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -81,7 +82,7 @@ func (d *DynamicForwardPush) UpdateContext(ctx context.Context, newView hin.View
 	}
 	delta := transitionDelta(d.view, newView, u)
 	scale := (1 - d.params.Alpha) / d.params.Alpha * d.p[u]
-	if scale != 0 {
+	if !fmath.Eq(scale, 0) {
 		for y, dw := range delta {
 			d.r[y] += scale * dw
 		}
@@ -107,7 +108,7 @@ func transitionDelta(oldView, newView hin.View, u hin.NodeID) map[hin.NodeID]flo
 		})
 	}
 	for y, dw := range delta {
-		if dw == 0 {
+		if fmath.Eq(dw, 0) {
 			delete(delta, y)
 		}
 	}

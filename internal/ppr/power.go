@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -57,7 +58,7 @@ func (e *Power) FromSourceContext(ctx context.Context, g hin.View, s hin.NodeID)
 		next[s] = alpha
 		for v := 0; v < n; v++ {
 			mass := p[v]
-			if mass == 0 {
+			if fmath.Eq(mass, 0) {
 				continue
 			}
 			total := g.OutWeightSum(hin.NodeID(v))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -97,7 +98,7 @@ func solveInPlace(a [][]float64, b []float64) error {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
-			if f == 0 {
+			if fmath.Eq(f, 0) {
 				continue
 			}
 			a[r][col] = 0

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
 	"github.com/why-not-xai/emigre/internal/rec"
@@ -143,10 +144,8 @@ func (p *Explainer) Explain(u hin.NodeID) (*CFE, error) {
 			gap += s
 		}
 		sort.Slice(scoredActions, func(i, j int) bool {
-			if scoredActions[i].score != scoredActions[j].score {
-				return scoredActions[i].score > scoredActions[j].score
-			}
-			return scoredActions[i].edge.To < scoredActions[j].edge.To
+			return fmath.Before(scoredActions[i].score, scoredActions[j].score,
+				int(scoredActions[i].edge.To), int(scoredActions[j].edge.To))
 		})
 		var removed []hin.Edge
 		feasible := false

@@ -3,6 +3,7 @@ package rec
 import (
 	"math"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 )
 
@@ -24,7 +25,7 @@ type betaView struct {
 // weighted walk needs no rewrite because the engines normalize rows
 // themselves).
 func WrapBeta(g hin.View, beta float64) hin.View {
-	if beta == 1 {
+	if fmath.Eq(beta, 1) {
 		return g
 	}
 	return &betaView{View: g, beta: beta}

@@ -1,11 +1,14 @@
 package rec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/pprcache"
 )
 
 // EdgeContribution decomposes a personalized score along one of the
@@ -38,7 +41,7 @@ func (r *Recommender) Contributions(u, target hin.NodeID) ([]EdgeContribution, e
 	if u < 0 || int(u) >= n || target < 0 || int(target) >= n {
 		return nil, fmt.Errorf("rec: node out of range (user %d, target %d, %d nodes)", u, target, n)
 	}
-	col, err := ppr.NewReversePush(r.cfg.PPR).ToTarget(r.ScoringView(), target)
+	col, err := r.reverseColumn(context.Background(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -60,10 +63,26 @@ func (r *Recommender) Contributions(u, target hin.NodeID) ([]EdgeContribution, e
 		return true
 	})
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Share != out[j].Share {
-			return out[i].Share > out[j].Share
-		}
-		return out[i].Edge.To < out[j].Edge.To
+		return fmath.Before(out[i].Share, out[j].Share, int(out[i].Edge.To), int(out[j].Edge.To))
 	})
 	return out, nil
+}
+
+// reverseColumn returns PPR(·, target) over the recommender's scoring
+// view, served through the attached vector cache when the view is
+// versioned — the recommender-side twin of the explainer's
+// session.reverseColumn, and (with ScoresContext) one of the two
+// routing helpers the rawengine analyzer permits to invoke an engine
+// directly.
+func (r *Recommender) reverseColumn(ctx context.Context, target hin.NodeID) (ppr.Vector, error) {
+	rev := ppr.NewReversePush(r.cfg.PPR)
+	if r.cache != nil {
+		if k, ok := pprcache.ReverseKey(r.view, rev, target); ok {
+			vec, _, err := r.cache.GetOrCompute(ctx, k, func(cctx context.Context) (ppr.Vector, error) {
+				return rev.ToTargetContext(cctx, r.ScoringView(), target)
+			})
+			return vec, err
+		}
+	}
+	return rev.ToTargetContext(ctx, r.ScoringView(), target)
 }

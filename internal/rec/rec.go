@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
 	"github.com/why-not-xai/emigre/internal/pprcache"
@@ -161,7 +162,7 @@ func (r *Recommender) patchedRow(v hin.View, u hin.NodeID) *hin.PatchedCSR {
 	var sum float64
 	if total > 0 && deg > 0 {
 		row = make([]hin.HalfEdge, 0, deg)
-		if r.cfg.Beta == 1 {
+		if fmath.Eq(r.cfg.Beta, 1) {
 			v.OutEdges(u, func(h hin.HalfEdge) bool {
 				row = append(row, h)
 				return true
@@ -278,10 +279,7 @@ func (r *Recommender) TopNContext(ctx context.Context, u hin.NodeID, n int) ([]S
 		return nil, fmt.Errorf("%w (user %d)", ErrNoCandidates, u)
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Node < all[j].Node
+		return fmath.Before(all[i].Score, all[j].Score, int(all[i].Node), int(all[j].Node))
 	})
 	if n > len(all) {
 		n = len(all)
@@ -311,7 +309,7 @@ func (r *Recommender) RankOfContext(ctx context.Context, u, v hin.NodeID) (int, 
 		if id == v || !r.IsCandidate(u, id) {
 			continue
 		}
-		if scores[x] > sv || (scores[x] == sv && id < v) {
+		if fmath.Before(scores[x], sv, int(id), int(v)) {
 			rank++
 		}
 	}
