@@ -41,7 +41,8 @@ func main() {
 		mdPath     = flag.String("markdown", "", "also export the figures as a Markdown report")
 		breakdown  = flag.Bool("breakdown", false, "also print success rate by Why-Not item rank")
 		methodsArg = flag.String("methods", "", "comma-separated method subset (default: all eight)")
-		workers    = flag.Int("workers", 1, "parallel (scenario, method) evaluations")
+		workers    = flag.Int("workers", 1, "combined concurrency budget (scenario workers × check-workers)")
+		checkWkrs  = flag.Int("check-workers", 1, "parallel CHECK workers per query, carved out of -workers")
 		sweepFlag  = flag.Bool("sweep", false, "run an α/β hyper-parameter sweep (remove_ex + add_incremental) instead of the figures")
 		quiet      = flag.Bool("quiet", false, "suppress the progress meter")
 	)
@@ -99,6 +100,7 @@ func main() {
 		Explainer:           base,
 		Overrides:           map[string]emigre.Options{"remove_brute": brute},
 		Workers:             *workers,
+		CheckWorkers:        *checkWkrs,
 	}
 	if !*quiet {
 		evalCfg.Progress = func(done, total int) {

@@ -16,6 +16,12 @@ import (
 // Options.MaxCombinationSize and Options.MaxTests instead. With the
 // default budget every subset of size ≤ 5 of a 20-action user is
 // examined — well past the explanation sizes the paper observes.
+//
+// The strategy is a pure generator: it emits every subset in
+// enumeration order and the shared CHECK pipeline (runChecks) verifies
+// them — sequentially or speculatively in parallel, with identical
+// results. Brute force benefits the most from parallel CHECK: it has no
+// pruning, so its stream is long and every set genuinely needs a CHECK.
 func (s *session) bruteForce() (*Explanation, error) {
 	h := s.cands // Algorithm 1's A, with T_e applied; no sign pruning
 	if len(h) == 0 {
@@ -25,52 +31,41 @@ func (s *session) bruteForce() (*Explanation, error) {
 	if maxSize > len(h) {
 		maxSize = len(h)
 	}
-	budgetHit := false
-	for size := 1; size <= maxSize && !budgetHit; size++ {
-		if err := s.canceled(); err != nil {
-			return nil, err
-		}
-		var stop error
-		combinations(len(h), size, func(idx []int) bool {
-			s.stats.CombosExamined++
-			selected := make([]candidate, len(idx))
-			for i, j := range idx {
-				selected[i] = h[j]
+	gen := func(yield func(cands []candidate) bool) error {
+		for size := 1; size <= maxSize; size++ {
+			if err := s.canceled(); err != nil {
+				return err
 			}
-			ok, top, err := s.check(selected)
-			if err != nil {
-				if errors.Is(err, ErrBudgetExhausted) {
-					budgetHit = true
+			stopped := false
+			combinations(len(h), size, func(idx []int) bool {
+				s.stats.CombosExamined++
+				selected := make([]candidate, len(idx))
+				for i, j := range idx {
+					selected[i] = h[j]
+				}
+				if !yield(selected) {
+					stopped = true
 					return false
 				}
-				stop = err
-				return false
+				return true
+			})
+			if stopped {
+				return nil
 			}
-			if ok {
-				expl := s.found(selected, true, top)
-				stop = &foundSignal{expl}
-				return false
-			}
-			return true
-		})
-		if stop != nil {
-			var f *foundSignal
-			if errors.As(stop, &f) {
-				return f.expl, nil
-			}
-			return nil, stop
 		}
+		return nil
 	}
-	err := fmt.Errorf("%w (brute force: |A|=%d, %d subsets checked)",
+	out, err := s.runChecks(gen)
+	if err != nil {
+		return nil, err
+	}
+	if out.expl != nil {
+		return out.expl, nil
+	}
+	err = fmt.Errorf("%w (brute force: |A|=%d, %d subsets checked)",
 		ErrNoExplanation, len(h), s.stats.Tests)
-	if budgetHit {
+	if out.budgetHit {
 		err = errors.Join(err, ErrBudgetExhausted)
 	}
 	return nil, err
 }
-
-// foundSignal tunnels a successful explanation out of the combination
-// callback.
-type foundSignal struct{ expl *Explanation }
-
-func (f *foundSignal) Error() string { return "emigre: explanation found" }

@@ -33,7 +33,12 @@ func combinations(n, c int, visit func(idx []int) bool) {
 	}
 }
 
-// binomial returns C(n, k), saturating at a large sentinel to avoid
+// binomialSaturation is the sentinel C(n,k) saturates at: large enough
+// that any budgeting comparison treats it as "effectively unbounded"
+// without overflowing intermediate products.
+const binomialSaturation = 1 << 40
+
+// binomial returns C(n, k), saturating at binomialSaturation to avoid
 // overflow; it is only used for budgeting decisions.
 func binomial(n, k int) int {
 	if k < 0 || k > n {
@@ -42,13 +47,30 @@ func binomial(n, k int) int {
 	if k > n-k {
 		k = n - k
 	}
-	const cap = 1 << 40
 	res := 1
 	for i := 0; i < k; i++ {
 		res = res * (n - i) / (i + 1)
-		if res > cap {
-			return cap
+		if res > binomialSaturation {
+			return binomialSaturation
 		}
 	}
 	return res
+}
+
+// maxComboPrealloc clamps combination-slice capacity hints. C(n,k)
+// saturates at ~10^12, and even honest counts grow combinatorially, so
+// passing binomial() straight to make() can attempt a multi-terabyte
+// allocation for a large MaxSearchSpace. Beyond the clamp append grows
+// the slice the usual way.
+const maxComboPrealloc = 1 << 16
+
+// comboCapHint returns a safe capacity hint for collecting the C(n,k)
+// combinations: exact when small, clamped to maxComboPrealloc when the
+// count is large or saturated.
+func comboCapHint(n, k int) int {
+	c := binomial(n, k)
+	if c > maxComboPrealloc {
+		return maxComboPrealloc
+	}
+	return c
 }

@@ -252,7 +252,20 @@ type Options struct {
 	// confirmed with one static run, so returned explanations are
 	// exactly as sound as without the option. A rejection may disagree
 	// with the static path on tolerance-level near-ties.
+	//
+	// DynamicCheck forces sequential CHECK evaluation: the push state
+	// is repaired incrementally from one counterfactual to the next,
+	// which is inherently a serial walk of the candidate stream.
 	DynamicCheck bool
+
+	// Parallelism is the number of CHECK evaluations run concurrently
+	// per query. The strategies emit their candidate sets as an ordered
+	// stream; with Parallelism > 1 a worker pool verifies sets
+	// speculatively while results are committed in stream order, so
+	// explanations, Stats and budget errors are byte-identical to the
+	// sequential search (see pipeline.go). 0 or 1 (the default) runs
+	// the classic sequential path; DynamicCheck forces it.
+	Parallelism int
 }
 
 // Defaults used when an Options field is zero.
@@ -397,12 +410,15 @@ func (e *Explanation) Describe(g *hin.Graph) string {
 }
 
 // Explainer answers Why-Not queries over a fixed graph and recommender.
+// An Explainer is safe for concurrent use: sessions only read the graph
+// and recommender, and the pipeline metrics are atomics.
 type Explainer struct {
-	g     *hin.Graph
-	r     *rec.Recommender
-	opts  Options
-	rev   *ppr.ReversePush
-	cache *pprcache.Cache // nil when Options.DisableCache
+	g       *hin.Graph
+	r       *rec.Recommender
+	opts    Options
+	rev     *ppr.ReversePush
+	cache   *pprcache.Cache // nil when Options.DisableCache
+	metrics *pipelineMetrics
 }
 
 // New builds an explainer. The recommender must have been built over g
@@ -428,11 +444,12 @@ func New(g *hin.Graph, r *rec.Recommender, opts Options) *Explainer {
 		r = &rc
 	}
 	return &Explainer{
-		g:     g,
-		r:     r,
-		opts:  o,
-		rev:   ppr.NewReversePush(r.Config().PPR),
-		cache: cache,
+		g:       g,
+		r:       r,
+		opts:    o,
+		rev:     ppr.NewReversePush(r.Config().PPR),
+		cache:   cache,
+		metrics: &pipelineMetrics{},
 	}
 }
 
@@ -683,30 +700,22 @@ func (s *session) canceled() error {
 // recommender call with the session's partial stats.
 func (s *session) wrapCtx(err error) error { return wrapCtxErr(err, s.stats) }
 
-// check is the paper's CHECK/TEST step: apply the candidate selection
-// as an overlay and re-run the recommender. It reports whether WNI
-// became the top-1 recommendation, and what the new top-1 is.
+// check is the paper's CHECK/TEST step with the session's sequential
+// bookkeeping: cancellation poll, CHECK budget, Tests tally, and the
+// optional dynamic-push fast rejection. The parallel pipeline performs
+// the same bookkeeping at commit time and calls checkOnce instead.
 func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 	if err := s.canceled(); err != nil {
 		return false, hin.InvalidNode, err
 	}
 	if s.stats.Tests >= s.ex.opts.MaxTests {
-		return false, hin.InvalidNode, fmt.Errorf("%w: %d CHECK invocations", ErrBudgetExhausted, s.stats.Tests)
+		return false, hin.InvalidNode, budgetExhausted(s.stats.Tests)
 	}
 	s.stats.Tests++
-	removals, additions, reweights := splitOps(cands)
-	// A reweight is expressed as removing the typed edge and re-adding
-	// it with the counterfactual weight.
-	removals = append(removals, reweights...)
-	additions = append(additions, reweights...)
-	o, err := hin.NewOverlay(s.ex.g, removals, additions)
+	r2, err := s.counterfactual(cands)
 	if err != nil {
-		return false, hin.InvalidNode, fmt.Errorf("emigre: building counterfactual overlay: %w", err)
+		return false, hin.InvalidNode, err
 	}
-	// Counterfactuals only touch the user's outgoing row, so the
-	// recommender can score over a one-row patch of its flat snapshot
-	// instead of re-flattening the overlay.
-	r2 := s.ex.r.WithUserPatch(o, s.q.User)
 	if s.ex.opts.DynamicCheck {
 		ok, _, err := s.dynamicCheck(r2)
 		if err != nil {
@@ -720,13 +729,55 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 		// A dynamic PASS is confirmed with one static run so returned
 		// explanations stay sound even on tolerance-level near-ties.
 	}
+	ok, top, err := s.rankCheck(s.ctx, r2)
+	if err != nil {
+		return false, hin.InvalidNode, s.wrapCtx(err)
+	}
+	return ok, top, nil
+}
+
+// checkOnce is one stateless CHECK: overlay, patched recommender,
+// rank comparison. It performs no budget or Tests accounting, never
+// touches the session's dynamic-push state, and returns context errors
+// raw (the caller wraps them with the stats it has committed) — which
+// makes it safe to run from many pipeline workers at once. The shared
+// state it reads (graph, recommender snapshot, accept set, cache) is
+// read-only for the session's lifetime.
+func (s *session) checkOnce(ctx context.Context, cands []candidate) (bool, hin.NodeID, error) {
+	r2, err := s.counterfactual(cands)
+	if err != nil {
+		return false, hin.InvalidNode, err
+	}
+	return s.rankCheck(ctx, r2)
+}
+
+// counterfactual applies the candidate selection as an overlay and
+// binds the recommender to it. Counterfactuals only touch the user's
+// outgoing row, so the recommender scores over a one-row patch of its
+// flat snapshot instead of re-flattening the overlay.
+func (s *session) counterfactual(cands []candidate) (*rec.Recommender, error) {
+	removals, additions, reweights := splitOps(cands)
+	// A reweight is expressed as removing the typed edge and re-adding
+	// it with the counterfactual weight.
+	removals = append(removals, reweights...)
+	additions = append(additions, reweights...)
+	o, err := hin.NewOverlay(s.ex.g, removals, additions)
+	if err != nil {
+		return nil, fmt.Errorf("emigre: building counterfactual overlay: %w", err)
+	}
+	return s.ex.r.WithUserPatch(o, s.q.User), nil
+}
+
+// rankCheck re-runs the recommender over the counterfactual and reports
+// whether an accepted item reached the target rank, plus the new top-1.
+func (s *session) rankCheck(ctx context.Context, r2 *rec.Recommender) (bool, hin.NodeID, error) {
 	k := s.ex.opts.TargetRank
-	list, err := r2.TopNContext(s.ctx, s.q.User, k)
+	list, err := r2.TopNContext(ctx, s.q.User, k)
 	if err != nil {
 		if errors.Is(err, rec.ErrNoCandidates) {
 			return false, hin.InvalidNode, nil
 		}
-		return false, hin.InvalidNode, s.wrapCtx(err)
+		return false, hin.InvalidNode, err
 	}
 	for _, sc := range list {
 		if s.accepted(sc.Node) {

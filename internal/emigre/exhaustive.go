@@ -81,7 +81,6 @@ func (s *session) exhaustive(withCheck bool) (*Explanation, error) {
 	if maxSize > len(h) {
 		maxSize = len(h)
 	}
-	budgetHit := false
 	type survivor struct {
 		idx    []int
 		margin float64 // worst-coordinate slack, for ordering
@@ -90,81 +89,99 @@ func (s *session) exhaustive(withCheck bool) (*Explanation, error) {
 	// target; placing WNI at rank k only requires beating all but k−1
 	// of them, so up to k−1 negative-slack columns are tolerated.
 	allowedMisses := s.ex.opts.TargetRank - 1
-	for size := 1; size <= maxSize; size++ {
-		if err := s.canceled(); err != nil {
+
+	// The strategy as a pure generator: per size, run the domination
+	// filter over all combinations, order the survivors by margin, and
+	// yield them for verification.
+	gen := func(yield func(cands []candidate) bool) error {
+		for size := 1; size <= maxSize; size++ {
+			if err := s.canceled(); err != nil {
+				return err
+			}
+			var survivors []survivor
+			combinations(len(h), size, func(idx []int) bool {
+				s.stats.CombosExamined++
+				misses := 0
+				worst := math.Inf(1)
+				for k := range targets {
+					// Connecting the user to target t evicts t from the
+					// candidate set of Eq. 2 — WNI no longer needs to beat
+					// it, so skip its column (paper erratum; Alg. 5 does
+					// not handle self-targets).
+					if comboContainsAddedEndpoint(h, idx, targets[k]) {
+						continue
+					}
+					var sum float64
+					for _, i := range idx {
+						sum += reduction[i][k]
+					}
+					slack := sum - threshold[k]
+					// The paper requires strictly positive slack; we accept
+					// slack == 0 too (an estimated tie) because the CHECK
+					// step resolves it exactly — this covers the degenerate
+					// combination that removes every allowed edge, whose
+					// slack is identically zero.
+					if slack < 0 {
+						misses++
+						if misses > allowedMisses {
+							return true // fails the domination filter
+						}
+						continue
+					}
+					if slack < worst {
+						worst = slack
+					}
+				}
+				survivors = append(survivors, survivor{idx: append([]int(nil), idx...), margin: worst})
+				return true
+			})
+			sort.Slice(survivors, func(i, j int) bool {
+				if !fmath.Eq(survivors[i].margin, survivors[j].margin) {
+					return survivors[i].margin > survivors[j].margin
+				}
+				return lexLess(survivors[i].idx, survivors[j].idx)
+			})
+			for _, sv := range survivors {
+				selected := make([]candidate, len(sv.idx))
+				for i, j := range sv.idx {
+					selected[i] = h[j]
+				}
+				if !yield(selected) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+
+	if !withCheck {
+		// Direct baseline: trust the threshold filter — the first
+		// surviving combination is returned unverified, so the stream is
+		// consumed inline rather than through the CHECK pipeline.
+		var first *Explanation
+		if err := gen(func(cands []candidate) bool {
+			first = s.found(cands, false, hin.InvalidNode)
+			return false
+		}); err != nil {
 			return nil, err
 		}
-		var survivors []survivor
-		combinations(len(h), size, func(idx []int) bool {
-			s.stats.CombosExamined++
-			misses := 0
-			worst := math.Inf(1)
-			for k := range targets {
-				// Connecting the user to target t evicts t from the
-				// candidate set of Eq. 2 — WNI no longer needs to beat
-				// it, so skip its column (paper erratum; Alg. 5 does
-				// not handle self-targets).
-				if comboContainsAddedEndpoint(h, idx, targets[k]) {
-					continue
-				}
-				var sum float64
-				for _, i := range idx {
-					sum += reduction[i][k]
-				}
-				slack := sum - threshold[k]
-				// The paper requires strictly positive slack; we accept
-				// slack == 0 too (an estimated tie) because the CHECK
-				// step resolves it exactly — this covers the degenerate
-				// combination that removes every allowed edge, whose
-				// slack is identically zero.
-				if slack < 0 {
-					misses++
-					if misses > allowedMisses {
-						return true // fails the domination filter
-					}
-					continue
-				}
-				if slack < worst {
-					worst = slack
-				}
-			}
-			survivors = append(survivors, survivor{idx: append([]int(nil), idx...), margin: worst})
-			return true
-		})
-		sort.Slice(survivors, func(i, j int) bool {
-			if !fmath.Eq(survivors[i].margin, survivors[j].margin) {
-				return survivors[i].margin > survivors[j].margin
-			}
-			return lexLess(survivors[i].idx, survivors[j].idx)
-		})
-		for _, sv := range survivors {
-			selected := make([]candidate, len(sv.idx))
-			for i, j := range sv.idx {
-				selected[i] = h[j]
-			}
-			if !withCheck {
-				// Direct baseline: trust the threshold filter.
-				return s.found(selected, false, hin.InvalidNode), nil
-			}
-			ok, top, err := s.check(selected)
-			if err != nil {
-				if errors.Is(err, ErrBudgetExhausted) {
-					budgetHit = true
-					break
-				}
-				return nil, err
-			}
-			if ok {
-				return s.found(selected, true, top), nil
-			}
+		if first != nil {
+			return first, nil
 		}
-		if budgetHit {
-			break
-		}
+		return nil, fmt.Errorf("%w (exhaustive, %s mode: |H|=%d, |T|=%d, %d combos, %d checks)",
+			ErrNoExplanation, s.mode, len(h), len(targets), s.stats.CombosExamined, s.stats.Tests)
+	}
+
+	out, err := s.runChecks(gen)
+	if err != nil {
+		return nil, err
+	}
+	if out.expl != nil {
+		return out.expl, nil
 	}
 	err = fmt.Errorf("%w (exhaustive, %s mode: |H|=%d, |T|=%d, %d combos, %d checks)",
 		ErrNoExplanation, s.mode, len(h), len(targets), s.stats.CombosExamined, s.stats.Tests)
-	if budgetHit {
+	if out.budgetHit {
 		err = errors.Join(err, ErrBudgetExhausted)
 	}
 	return nil, err

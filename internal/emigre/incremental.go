@@ -10,33 +10,46 @@ import (
 // estimate tau flips sign, verify after every further commit. The first
 // verified edge set is returned. Incremental trades explanation size
 // for speed: it never reconsiders a committed edge.
+//
+// The strategy is a pure generator: it emits the prefix sets whose
+// estimated gap has flipped, in commit order, and the shared CHECK
+// pipeline (runChecks) verifies them — sequentially or speculatively in
+// parallel, with identical results.
 func (s *session) incremental() (*Explanation, error) {
-	var selected []candidate
-	tau := s.tau
-	for _, cand := range s.cands {
-		if err := s.canceled(); err != nil {
-			return nil, err
-		}
-		// Negative contributions cannot help WNI (Eq. 5/6 discussion);
-		// the list is sorted, so everything after is non-positive too.
-		if cand.contribution <= 0 {
-			break
-		}
-		selected = append(selected, cand)
-		tau -= cand.contribution
-		if !s.gapFlipped(tau) {
-			continue // rec still estimated to dominate: keep accumulating
-		}
-		ok, top, err := s.check(selected)
-		if err != nil {
-			if errors.Is(err, ErrBudgetExhausted) {
-				return nil, fmt.Errorf("%w (incremental)", errors.Join(ErrNoExplanation, err))
+	gen := func(yield func(cands []candidate) bool) error {
+		var selected []candidate
+		tau := s.tau
+		for _, cand := range s.cands {
+			if err := s.canceled(); err != nil {
+				return err
 			}
-			return nil, err
+			// Negative contributions cannot help WNI (Eq. 5/6 discussion);
+			// the list is sorted, so everything after is non-positive too.
+			if cand.contribution <= 0 {
+				break
+			}
+			selected = append(selected, cand)
+			tau -= cand.contribution
+			if !s.gapFlipped(tau) {
+				continue // rec still estimated to dominate: keep accumulating
+			}
+			// Yield a copy: selected keeps growing while the pipeline
+			// may still hold earlier prefixes.
+			if !yield(append([]candidate(nil), selected...)) {
+				return nil
+			}
 		}
-		if ok {
-			return s.found(selected, true, top), nil
-		}
+		return nil
+	}
+	out, err := s.runChecks(gen)
+	if err != nil {
+		return nil, err
+	}
+	if out.expl != nil {
+		return out.expl, nil
+	}
+	if out.budgetHit {
+		return nil, fmt.Errorf("%w (incremental)", errors.Join(ErrNoExplanation, out.budgetErr))
 	}
 	return nil, fmt.Errorf("%w (incremental, %s mode: %d candidates, %d checks)",
 		ErrNoExplanation, s.mode, len(s.cands), s.stats.Tests)

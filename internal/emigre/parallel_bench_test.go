@@ -1,0 +1,98 @@
+package emigre
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/dataset"
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/rec"
+)
+
+// benchLite lazily builds the paper's Amazon Lite evaluation graph and
+// one Why-Not scenario over it, shared by all pipeline benchmarks.
+var benchLite struct {
+	once sync.Once
+	g    *hin.Graph
+	r    *rec.Recommender
+	q    Query
+	te   hin.EdgeTypeSet
+	err  error
+}
+
+func liteScenario(tb testing.TB) (*hin.Graph, *rec.Recommender, Query, hin.EdgeTypeSet) {
+	benchLite.once.Do(func() {
+		amazon, err := dataset.Generate(dataset.DefaultConfig())
+		if err != nil {
+			benchLite.err = err
+			return
+		}
+		lite, sampled, err := amazon.Lite(dataset.DefaultLiteConfig())
+		if err != nil {
+			benchLite.err = err
+			return
+		}
+		r, err := rec.New(lite.Graph, rec.DefaultConfig(lite.Types.Item))
+		if err != nil {
+			benchLite.err = err
+			return
+		}
+		r.Flat() // warm the shared snapshot once, outside any timer
+		for _, u := range sampled {
+			list, err := r.TopN(u, 3)
+			if err != nil || len(list) < 2 {
+				continue
+			}
+			benchLite.g = lite.Graph
+			benchLite.r = r
+			benchLite.q = Query{User: u, WNI: list[1].Node}
+			benchLite.te = lite.UserActionEdgeTypes()
+			return
+		}
+		benchLite.err = errors.New("no sampled user with a rankable top-2 list")
+	})
+	if benchLite.err != nil {
+		tb.Fatalf("building Amazon Lite scenario: %v", benchLite.err)
+	}
+	return benchLite.g, benchLite.r, benchLite.q, benchLite.te
+}
+
+// BenchmarkExplainParallel measures one full Why-Not search on the
+// Amazon Lite graph, sequential vs a 4-worker CHECK pipeline, for the
+// two combination strategies whose CHECK streams are long enough to
+// speculate on. Caching is disabled so every CHECK performs its full
+// PPR work (the cache would otherwise serve repeated benchmark
+// iterations from residency and measure nothing); MaxTests bounds one
+// iteration's work to a fixed number of CHECK invocations, so ns/op is
+// directly comparable across worker counts.
+//
+// Results land in BENCH_explainpar.json. The ordered-commit design
+// needs spare cores to win: on a multi-core runner the 4-worker rows
+// must show the speedup, on a single-core machine they degrade to
+// sequential speed plus scheduling noise.
+func BenchmarkExplainParallel(b *testing.B) {
+	g, r, q, te := liteScenario(b)
+	for _, method := range []Method{Powerset, Exhaustive} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", method, workers), func(b *testing.B) {
+				ex := New(g, r, Options{
+					AllowedEdgeTypes: te,
+					DisableCache:     true,
+					MaxTests:         24,
+					MaxSearchSpace:   12,
+					Parallelism:      workers,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, err := ex.ExplainWith(q, Remove, method)
+					if err != nil && !errors.Is(err, ErrNoExplanation) {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

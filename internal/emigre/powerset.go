@@ -19,6 +19,11 @@ import (
 // candidates) and combination sizes at Options.MaxCombinationSize, so
 // the powerset never degenerates into the full 2^|H| sweep the paper's
 // complexity analysis warns about (§5.3).
+//
+// The strategy is a pure generator: it emits gap-flipping combinations
+// in examination order and the shared CHECK pipeline (runChecks)
+// verifies them — sequentially or speculatively in parallel, with
+// identical results.
 func (s *session) powerset() (*Explanation, error) {
 	h := s.positiveCandidates(s.ex.opts.MaxSearchSpace)
 	if len(h) == 0 {
@@ -29,60 +34,58 @@ func (s *session) powerset() (*Explanation, error) {
 	if maxSize > len(h) {
 		maxSize = len(h)
 	}
-	budgetHit := false
 	type combo struct {
 		idx   []int
 		total float64
 	}
-	for size := 1; size <= maxSize; size++ {
-		if err := s.canceled(); err != nil {
-			return nil, err
-		}
-		combos := make([]combo, 0, binomial(len(h), size))
-		combinations(len(h), size, func(idx []int) bool {
-			var total float64
-			for _, i := range idx {
-				total += h[i].contribution
+	gen := func(yield func(cands []candidate) bool) error {
+		for size := 1; size <= maxSize; size++ {
+			if err := s.canceled(); err != nil {
+				return err
 			}
-			combos = append(combos, combo{idx: append([]int(nil), idx...), total: total})
-			return true
-		})
-		sort.Slice(combos, func(i, j int) bool {
-			if !fmath.Eq(combos[i].total, combos[j].total) {
-				return combos[i].total > combos[j].total
-			}
-			return lexLess(combos[i].idx, combos[j].idx)
-		})
-		for _, cb := range combos {
-			s.stats.CombosExamined++
-			if !s.gapFlipped(s.tau - cb.total) {
-				// This and all later combos of this size cannot flip the
-				// estimated gap; move on to the next size.
-				break
-			}
-			selected := make([]candidate, len(cb.idx))
-			for i, j := range cb.idx {
-				selected[i] = h[j]
-			}
-			ok, top, err := s.check(selected)
-			if err != nil {
-				if errors.Is(err, ErrBudgetExhausted) {
-					budgetHit = true
+			combos := make([]combo, 0, comboCapHint(len(h), size))
+			combinations(len(h), size, func(idx []int) bool {
+				var total float64
+				for _, i := range idx {
+					total += h[i].contribution
+				}
+				combos = append(combos, combo{idx: append([]int(nil), idx...), total: total})
+				return true
+			})
+			sort.Slice(combos, func(i, j int) bool {
+				if !fmath.Eq(combos[i].total, combos[j].total) {
+					return combos[i].total > combos[j].total
+				}
+				return lexLess(combos[i].idx, combos[j].idx)
+			})
+			for _, cb := range combos {
+				s.stats.CombosExamined++
+				if !s.gapFlipped(s.tau - cb.total) {
+					// This and all later combos of this size cannot flip the
+					// estimated gap; move on to the next size.
 					break
 				}
-				return nil, err
-			}
-			if ok {
-				return s.found(selected, true, top), nil
+				selected := make([]candidate, len(cb.idx))
+				for i, j := range cb.idx {
+					selected[i] = h[j]
+				}
+				if !yield(selected) {
+					return nil
+				}
 			}
 		}
-		if budgetHit {
-			break
-		}
+		return nil
 	}
-	err := fmt.Errorf("%w (powerset, %s mode: |H|=%d, %d combos, %d checks)",
+	out, err := s.runChecks(gen)
+	if err != nil {
+		return nil, err
+	}
+	if out.expl != nil {
+		return out.expl, nil
+	}
+	err = fmt.Errorf("%w (powerset, %s mode: |H|=%d, %d combos, %d checks)",
 		ErrNoExplanation, s.mode, len(h), s.stats.CombosExamined, s.stats.Tests)
-	if budgetHit {
+	if out.budgetHit {
 		err = errors.Join(err, ErrBudgetExhausted)
 	}
 	return nil, err

@@ -16,6 +16,10 @@ type typedKey struct {
 // explanations without copying the graph.
 //
 // An Overlay may wrap another Overlay, composing edits.
+//
+// An Overlay is immutable after NewOverlay returns and therefore safe
+// to read from any number of goroutines — the parallel CHECK pipeline
+// builds one overlay per speculative worker over the same base view.
 type Overlay struct {
 	base View
 

@@ -103,10 +103,10 @@ func TestAnalyzers(t *testing.T) {
 		analyzer *Analyzer
 		patterns []string
 	}{
-		{"ctxpoll", CtxPoll(), []string{"./ctxpoll"}},
+		{"ctxpoll", CtxPoll(), []string{"./ctxpoll", "./ctxpoll/emigre"}},
 		{"errcmp", ErrCmp(), []string{"./errcmp"}},
 		{"floateq", FloatEq(), []string{"./floateq"}},
-		{"rawengine", RawEngine(), []string{"./rawengine/rec"}},
+		{"rawengine", RawEngine(), []string{"./rawengine/rec", "./rawengine/emigre"}},
 		{"versionbump", VersionBump(), []string{"./versionbump"}},
 	}
 	for _, tt := range tests {
@@ -150,7 +150,7 @@ func TestDirectives(t *testing.T) {
 // fixture package at once: analyzers must stay inside their scoped
 // package names and diagnostics must come out sorted.
 func TestSuiteOverWholeFixtureModule(t *testing.T) {
-	pkgs := loadFixture(t, "./ctxpoll", "./rawengine/ppr", "./rawengine/rec", "./versionbump")
+	pkgs := loadFixture(t, "./ctxpoll", "./ctxpoll/emigre", "./rawengine/ppr", "./rawengine/rec", "./rawengine/emigre", "./versionbump")
 	res := Analyze(pkgs, Suite())
 	// The ctxpoll fixture is a package named ppr with no float or error
 	// comparisons; the rawengine ppr fixture must not be flagged (only

@@ -1,0 +1,73 @@
+// Fixture for the ctxpoll analyzer over the CHECK-pipeline shapes: the
+// package is named emigre so the name-scoped analyzer applies to it,
+// covering the worker/committer loops of the parallel evaluator.
+package emigre
+
+import "context"
+
+type job struct{ ord int }
+
+type done struct{ ord int }
+
+// good: worker loops range over the jobs channel — they terminate with
+// channel close, not via an unbounded `for`.
+func worker(jobs <-chan job, results chan<- done) {
+	for j := range jobs {
+		results <- done{ord: j.ord}
+	}
+}
+
+// good: the committer's drain loop carries a loop condition, so it is
+// bounded by the channels it still owes a read to.
+func commit(ctx context.Context, results chan done) int {
+	n := 0
+	for results != nil {
+		select {
+		case _, open := <-results:
+			if !open {
+				results = nil
+				continue
+			}
+			n++
+		case <-ctx.Done():
+			return n
+		}
+	}
+	return n
+}
+
+// good: an unbounded drain that polls the pipeline context each turn.
+func drainPolled(ctx context.Context, results chan done) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-results:
+		default:
+			return
+		}
+	}
+}
+
+// good: a generator that stops through a ctx-aware select — the Done
+// receive inside the select counts as the cancellation check.
+func generate(ctx context.Context, jobs chan<- job) {
+	ord := 0
+	for {
+		select {
+		case jobs <- job{ord: ord}:
+			ord++
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// bad: an unbounded result drain with no cancellation check hangs
+// forever once the producers are gone.
+func drainForever(results chan done) {
+	for { // want "cancellation"
+		<-results
+	}
+}

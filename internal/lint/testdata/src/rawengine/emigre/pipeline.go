@@ -1,0 +1,31 @@
+// Fixture caller package for the rawengine analyzer mirroring the CHECK
+// pipeline: the package is named emigre — one of the cache-routed
+// packages — so its speculative workers must not invoke engines raw.
+package emigre
+
+import "fixture.example/m/rawengine/ppr"
+
+type session struct {
+	rev *ppr.ReversePush
+}
+
+// bad: a pipeline worker computing its verdict straight off the engine
+// bypasses cache identity (and the singleflight dedup under concurrent
+// workers).
+func (s *session) checkOnce(t int) ppr.Vector {
+	return s.rev.ToTarget(t) // want "cache"
+}
+
+// good: the designated helper is the cache-miss compute path.
+func (s *session) reverseColumn(t int) ppr.Vector {
+	return s.rev.ToTarget(t)
+}
+
+// good: workers route every column through the helper.
+func (s *session) worker(ts []int) []ppr.Vector {
+	out := make([]ppr.Vector, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, s.reverseColumn(t))
+	}
+	return out
+}

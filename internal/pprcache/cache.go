@@ -3,6 +3,7 @@ package pprcache
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -163,7 +164,12 @@ func (c *Cache) Get(ctx context.Context, k Key) (ppr.Vector, bool) {
 // immediately with context.Cause(ctx); the computation keeps running
 // for the remaining waiters — and still populates the cache — unless
 // every waiter has gone away, in which case the context passed to
-// compute is canceled too.
+// compute is canceled too. An abandoned flight stays registered until
+// its compute call winds down; a live caller that joins it in that
+// window does not inherit the departed waiters' cancellation — it
+// retries with a fresh flight instead (the parallel CHECK pipeline
+// abandons speculative lookups routinely, so this window is hit in
+// practice).
 //
 // The returned vector is shared with other callers and must not be
 // mutated.
@@ -171,53 +177,63 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, false, context.Cause(ctx)
-	}
-	sh := c.shardFor(k)
-	sh.mu.Lock()
-	if el, ok := sh.entries[k]; ok {
-		sh.lru.MoveToFront(el)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, context.Cause(ctx)
+		}
+		sh := c.shardFor(k)
+		sh.mu.Lock()
+		if el, ok := sh.entries[k]; ok {
+			sh.lru.MoveToFront(el)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			countRequest(ctx, true)
+			return el.Value.(*entry).vec, true, nil
+		}
+		if f, ok := sh.flights[k]; ok {
+			f.waiters++
+			sh.mu.Unlock()
+			c.collapsed.Add(1)
+			// A collapsed wait is charged as a hit at the request level:
+			// no computation runs on this request's behalf.
+			countRequest(ctx, true)
+			vec, hit, err := c.wait(ctx, sh, f)
+			if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				// The flight was abandoned (every earlier waiter left and
+				// its computation was canceled) before this caller joined.
+				// That cancellation belongs to the departed waiters, not
+				// to this live request: retry with a fresh flight.
+				continue
+			}
+			return vec, hit, err
+		}
+		// Miss: this caller leads the computation. The compute context is
+		// detached from the leader's request (context.WithoutCancel keeps
+		// its values — tracing, request stats — but not its cancellation)
+		// so a canceled leader cannot poison the result for waiters that
+		// joined after it.
+		c.misses.Add(1)
+		countRequest(ctx, false)
+		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		sh.flights[k] = f
 		sh.mu.Unlock()
-		c.hits.Add(1)
-		countRequest(ctx, true)
-		return el.Value.(*entry).vec, true, nil
-	}
-	if f, ok := sh.flights[k]; ok {
-		f.waiters++
-		sh.mu.Unlock()
-		c.collapsed.Add(1)
-		// A collapsed wait is charged as a hit at the request level: no
-		// computation runs on this request's behalf.
-		countRequest(ctx, true)
+		c.inflight.Add(1)
+		go func() {
+			vec, err := compute(fctx)
+			sh.mu.Lock()
+			f.vec, f.err = vec, err
+			delete(sh.flights, k)
+			if err == nil {
+				c.insertLocked(sh, k, vec)
+			}
+			sh.mu.Unlock()
+			c.inflight.Add(-1)
+			cancel()
+			close(f.done)
+		}()
 		return c.wait(ctx, sh, f)
 	}
-	// Miss: this caller leads the computation. The compute context is
-	// detached from the leader's request (context.WithoutCancel keeps
-	// its values — tracing, request stats — but not its cancellation)
-	// so a canceled leader cannot poison the result for waiters that
-	// joined after it.
-	c.misses.Add(1)
-	countRequest(ctx, false)
-	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
-	sh.flights[k] = f
-	sh.mu.Unlock()
-	c.inflight.Add(1)
-	go func() {
-		vec, err := compute(fctx)
-		sh.mu.Lock()
-		f.vec, f.err = vec, err
-		delete(sh.flights, k)
-		if err == nil {
-			c.insertLocked(sh, k, vec)
-		}
-		sh.mu.Unlock()
-		c.inflight.Add(-1)
-		cancel()
-		close(f.done)
-	}()
-	return c.wait(ctx, sh, f)
 }
 
 // wait blocks until the flight completes or ctx ends. The hit flag of

@@ -182,6 +182,77 @@ func TestLastWaiterCancelsCompute(t *testing.T) {
 	}
 }
 
+// TestAbandonedFlightDoesNotPoisonLateJoiner pins the retry contract:
+// an abandoned flight stays registered until its compute call winds
+// down, and a live caller joining in that window must not inherit the
+// departed waiters' context.Canceled — it retries and computes fresh.
+// The parallel CHECK pipeline abandons speculative lookups routinely,
+// so without the retry a decided explanation could poison the next
+// one's checks on a shared key.
+func TestAbandonedFlightDoesNotPoisonLateJoiner(t *testing.T) {
+	c := New(Config{})
+	k := testKey(1, 0)
+
+	// Leader with a cancelable ctx; its compute blocks after observing
+	// the abandonment cancel, holding the dead flight registered.
+	abandoned := make(chan struct{})
+	release := make(chan struct{})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(ctx1, k, func(fctx context.Context) (ppr.Vector, error) {
+			<-fctx.Done()
+			close(abandoned)
+			<-release // keep the canceled flight registered
+			return nil, fctx.Err()
+		})
+		leaderErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel1()
+	<-abandoned
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning leader returned %v, want context.Canceled", err)
+	}
+
+	// A live caller joins the still-registered dead flight. It must end
+	// up with a real vector, not the abandonment's cancellation.
+	base := c.Stats().Collapsed
+	joinerVec := make(chan ppr.Vector, 1)
+	joinerErr := make(chan error, 1)
+	go func() {
+		vec, _, err := c.GetOrCompute(context.Background(), k,
+			func(context.Context) (ppr.Vector, error) {
+				return ppr.Vector{7}, nil
+			})
+		joinerVec <- vec
+		joinerErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Collapsed == base { // joiner is on the dead flight
+		if time.Now().After(deadline) {
+			t.Fatal("joiner never collapsed onto the abandoned flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release) // dead flight resolves with context.Canceled
+
+	select {
+	case err := <-joinerErr:
+		if err != nil {
+			t.Fatalf("live joiner inherited the abandoned flight's error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner did not unblock")
+	}
+	if vec := <-joinerVec; len(vec) != 1 || vec[0] != 7 {
+		t.Fatalf("joiner vector = %v, want [7]", vec)
+	}
+	if vec, ok := c.Get(context.Background(), k); !ok || vec[0] != 7 {
+		t.Fatalf("retry did not populate the cache (ok=%v vec=%v)", ok, vec)
+	}
+}
+
 // TestConcurrentMixedWorkload hammers the cache with hits, misses and
 // collapses across many keys; correctness here is "no race detected and
 // every caller sees a well-formed vector".

@@ -77,6 +77,17 @@ type Scored struct {
 
 // Recommender ranks items for users over a fixed view. Use WithView to
 // rebind the same configuration to a counterfactual overlay.
+//
+// Concurrency contract: every scoring method (Recommend, TopN, RankOf
+// and their Context variants) only reads the recommender's state, so a
+// Recommender is safe for concurrent use once its flat snapshot exists —
+// call Flat() (or any scoring method) once before sharing it across
+// goroutines; the lazy build itself is not synchronized. The mutating
+// methods (SetCache) and the cheap rebinding constructors (WithView,
+// WithUserPatch) must not race with anything; rebinding returns a new
+// instance and never mutates the receiver, so the parallel CHECK
+// pipeline can call WithUserPatch from many workers over one warm
+// shared recommender.
 type Recommender struct {
 	cfg      Config
 	base     hin.View
@@ -122,6 +133,11 @@ func (r *Recommender) WithView(g hin.View) *Recommender {
 // Flat returns a CSR snapshot of the scoring view, built on first use.
 // PPR engines (including EMiGRe's reverse pushes) should run over it:
 // it is equivalent to View() but several times faster to traverse.
+//
+// The first call builds the snapshot without synchronization; warm it
+// single-threaded before sharing the recommender across goroutines.
+// Once built, the snapshot is immutable and read-shared by every copy
+// made with WithUserPatch.
 func (r *Recommender) Flat() *hin.CSR {
 	if r.flat == nil {
 		r.flat = hin.NewCSR(r.view)
@@ -134,7 +150,10 @@ func (r *Recommender) Flat() *hin.CSR {
 // of node u — the shape of every EMiGRe counterfactual. Unlike
 // WithView, the returned recommender scores over a PatchedCSR that
 // shares this recommender's flat snapshot, so binding costs O(deg u)
-// instead of O(V+E).
+// instead of O(V+E). The receiver is never mutated and the shared
+// snapshot is only read, so concurrent WithUserPatch calls over one
+// warm recommender are safe (the clone-safety contract the parallel
+// CHECK pipeline relies on).
 func (r *Recommender) WithUserPatch(v hin.View, u hin.NodeID) *Recommender {
 	c := *r
 	c.base = v

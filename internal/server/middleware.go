@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	emigre "github.com/why-not-xai/emigre"
 	"github.com/why-not-xai/emigre/internal/pprcache"
 )
 
@@ -61,9 +62,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // withMiddleware wraps the route tree with panic recovery and
 // structured request logging: one line per request with method, path,
-// status, duration, (for explanation requests) the CHECK count and
-// (when the vector cache is enabled) the request's cache hit/miss
-// tally.
+// status, duration, (for explanation requests) the CHECK count, (when
+// the vector cache is enabled) the request's cache hit/miss tally and
+// (when parallel CHECK is enabled) the request's committed/wasted
+// pipeline check tally.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		info := &requestInfo{}
@@ -73,6 +75,8 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			rs = &pprcache.RequestStats{}
 			ctx = pprcache.WithRequestStats(ctx, rs)
 		}
+		prs := &emigre.PipelineRequestStats{}
+		ctx = emigre.WithPipelineRequestStats(ctx, prs)
 		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -91,6 +95,9 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			}
 			if rs != nil && (rs.Hits() > 0 || rs.Misses() > 0) {
 				line += " cache=" + strconv.FormatInt(rs.Hits(), 10) + "h/" + strconv.FormatInt(rs.Misses(), 10) + "m"
+			}
+			if c, wd := prs.Committed(), prs.Wasted(); c > 0 || wd > 0 {
+				line += " par=" + strconv.FormatInt(c, 10) + "c/" + strconv.FormatInt(wd, 10) + "w"
 			}
 			s.log.Printf("%s %s %d %s%s",
 				r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), line)

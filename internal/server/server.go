@@ -81,6 +81,13 @@ type Config struct {
 	// CacheBytes bounds the same cache by resident payload bytes.
 	// 0 means the pprcache default (256 MiB); negative disables caching.
 	CacheBytes int64
+	// ExplainWorkers is the per-request CHECK parallelism
+	// (emigre.Options.Parallelism): each admitted explanation verifies
+	// its candidate sets on that many speculative workers with ordered
+	// commit, so responses stay byte-identical to a sequential search.
+	// 0 or 1 keeps searches sequential. Note the multiplicative load:
+	// up to MaxConcurrent × ExplainWorkers PPR runs can be in flight.
+	ExplainWorkers int
 	// Logger receives the per-request log lines and server warnings.
 	// Nil means log.Default().
 	Logger *log.Logger
@@ -149,6 +156,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.Options.Cache = cache
 	} else {
 		cfg.Options.DisableCache = true
+	}
+	if cfg.ExplainWorkers > 0 {
+		cfg.Options.Parallelism = cfg.ExplainWorkers
 	}
 	s := &Server{
 		g:        cfg.Graph,
@@ -255,6 +265,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.cache != nil {
 		body["cache"] = s.cache.Stats()
 	}
+	body["explain_pool"] = s.ex.PipelineStats()
 	s.writeJSON(w, http.StatusOK, body)
 }
 
