@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	emigre "github.com/why-not-xai/emigre"
+	"github.com/why-not-xai/emigre/internal/obs"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		checkWkrs  = flag.Int("check-workers", 1, "parallel CHECK workers per query, carved out of -workers")
 		sweepFlag  = flag.Bool("sweep", false, "run an α/β hyper-parameter sweep (remove_ex + add_incremental) instead of the figures")
 		quiet      = flag.Bool("quiet", false, "suppress the progress meter")
+		metricsOut = flag.String("metrics-out", "", "dump the run's metrics (Prometheus text format) to this file on exit")
 	)
 	flag.Parse()
 
@@ -88,6 +90,7 @@ func main() {
 
 	if *sweepFlag {
 		runSweep(ds, sampled, base, *topn, *scenarios, *workers)
+		writeMetrics(*metricsOut)
 		return
 	}
 
@@ -172,6 +175,26 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *mdPath)
 	}
+	writeMetrics(*metricsOut)
+}
+
+// writeMetrics dumps the process-global registry — the engine counters
+// (emigre_ppr_*) and the harness's outcome tallies (emigre_eval_*) the
+// run accumulated — as a Prometheus text exposition, so batch runs can
+// be post-processed with the same tooling that scrapes the server.
+func writeMetrics(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs.Default().WritePrometheus(f)
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // runSweep evaluates a grid of (α, β) recommender variants and prints

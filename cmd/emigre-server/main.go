@@ -21,6 +21,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +29,7 @@ import (
 
 	emigre "github.com/why-not-xai/emigre"
 	"github.com/why-not-xai/emigre/internal/cli"
+	"github.com/why-not-xai/emigre/internal/obs"
 	"github.com/why-not-xai/emigre/internal/server"
 )
 
@@ -60,6 +62,8 @@ func main() {
 			"PPR-vector cache capacity in bytes (0 = caching disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long to wait for in-flight requests on shutdown")
+		debugAddr = flag.String("debug-addr", "",
+			"optional second listen address serving net/http/pprof and /metrics; keep it private (empty = off)")
 	)
 	flag.Parse()
 
@@ -127,6 +131,33 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug listener is opt-in and separate from the API address so
+	// profiling endpoints never face the public side: pprof handlers are
+	// registered explicitly on a private mux (importing net/http/pprof
+	// for side effects would mount them on http.DefaultServeMux for
+	// every caller of this package's libraries).
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dm.Handle("/metrics", obs.Handler(obs.Default()))
+		debugServer := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dm,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		log.Printf("debug endpoints (pprof, /metrics) on %s", *debugAddr)
+		go func() {
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer debugServer.Close()
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: flip /readyz to 503 so

@@ -432,5 +432,12 @@ func RunSweep(g *Graph, variants []SweepVariant, cfg EvalConfig) ([]SweepResult,
 	return eval.RunSweep(g, variants, cfg)
 }
 
+// RunSweepContext is RunSweep with cancellation, polled between
+// variants: a canceled sweep returns the variants completed so far
+// plus ctx's error.
+func RunSweepContext(ctx context.Context, g *Graph, variants []SweepVariant, cfg EvalConfig) ([]SweepResult, error) {
+	return eval.RunSweepContext(ctx, g, variants, cfg)
+}
+
 // RenderSweep prints a success-rate row per (variant, method) pair.
 func RenderSweep(w io.Writer, sweep []SweepResult) error { return eval.RenderSweep(w, sweep) }

@@ -439,9 +439,7 @@ func New(g *hin.Graph, r *rec.Recommender, opts Options) *Explainer {
 		cache = pprcache.New(pprcache.Config{})
 	}
 	if cache != nil && r.Cache() == nil {
-		rc := *r
-		rc.SetCache(cache)
-		r = &rc
+		r = r.WithCache(cache)
 	}
 	return &Explainer{
 		g:       g,

@@ -1,0 +1,30 @@
+package emigre
+
+import (
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/obs"
+)
+
+// BenchmarkExplainObsOverhead measures the explain hot path with metric
+// recording on (the shipped default) and off, on the same fixture and
+// query. The acceptance gate for the observability layer is <2%
+// overhead between the two — instrumentation is batched at engine
+// success returns, so the delta should be noise. Results are committed
+// as BENCH_obs.json.
+func BenchmarkExplainObsOverhead(b *testing.B) {
+	defer obs.SetEnabled(true)
+	run := func(b *testing.B, enabled bool) {
+		obs.SetEnabled(enabled)
+		f := newBenchFixture(b, Options{})
+		q := f.query()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ex.ExplainWith(q, Remove, Powerset); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/why-not-xai/emigre/internal/emigre"
 	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/obs"
 	"github.com/why-not-xai/emigre/internal/rec"
 )
 
@@ -322,7 +323,30 @@ func runOne(ex *emigre.Explainer, sc Scenario, m MethodSpec) Outcome {
 	default:
 		out.Err = err.Error()
 	}
+	recordOutcome(m, out)
 	return out
+}
+
+// recordOutcome exports one evaluation result on the process-global
+// registry, so a -metrics-out dump and live telemetry share the source
+// of truth the paper tables are computed from.
+func recordOutcome(m MethodSpec, out Outcome) {
+	if !obs.Enabled() {
+		return
+	}
+	result := "miss"
+	switch {
+	case out.Err != "":
+		result = "error"
+	case out.Found:
+		result = "found"
+	}
+	obs.Default().Counter("emigre_eval_outcomes_total",
+		"Evaluation outcomes by method and result.",
+		obs.L("method", m.Name), obs.L("result", result)).Inc()
+	obs.Default().Histogram("emigre_eval_explain_seconds",
+		"Wall time of one evaluated explanation.", obs.DefBuckets(),
+		obs.L("method", m.Name)).Observe(out.Duration.Seconds())
 }
 
 func isNoExplanation(err error) bool {

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,11 +27,24 @@ type SweepResult struct {
 // per variant — changing α or β changes the recommendation lists, so
 // the Why-Not questions themselves legitimately differ across points.
 func RunSweep(g *hin.Graph, variants []SweepVariant, cfg Config) ([]SweepResult, error) {
+	return RunSweepContext(context.Background(), g, variants, cfg)
+}
+
+// RunSweepContext is RunSweep with cancellation: the context is
+// polled before each variant, so a canceled sweep stops between
+// variants instead of building and evaluating every remaining point.
+// It returns ctx's error (wrapped with the position the sweep stopped
+// at) and the results of the variants completed before cancellation.
+func RunSweepContext(ctx context.Context, g *hin.Graph, variants []SweepVariant, cfg Config) ([]SweepResult, error) {
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("eval: sweep needs at least one variant")
 	}
 	out := make([]SweepResult, 0, len(variants))
-	for _, v := range variants {
+	for i, v := range variants {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("eval: sweep canceled before variant %q (%d/%d done): %w",
+				v.Label, i, len(variants), err)
+		}
 		r, err := rec.New(g, v.Rec)
 		if err != nil {
 			return nil, fmt.Errorf("eval: variant %q: %w", v.Label, err)

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/dataset"
+	"github.com/why-not-xai/emigre/internal/emigre"
+	"github.com/why-not-xai/emigre/internal/rec"
+)
+
+// TestRunSweepContextCancellation pins the fix for the unbounded sweep:
+// a context canceled during variant 1 must stop the sweep before
+// variant 2 is built and evaluated, instead of silently running every
+// remaining point to completion (this test hangs on the count check
+// against pre-fix RunSweep, which has no cancellation seam at all).
+func TestRunSweepContextCancellation(t *testing.T) {
+	cfg := dataset.SmallConfig()
+	cfg.Users = 10
+	cfg.Items = 100
+	cfg.Categories = 4
+	a, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rec.DefaultConfig(a.Types.Item)
+	base.PPR.Epsilon = 1e-6
+	second := base
+	second.Beta = 1
+	variants := []SweepVariant{
+		{Label: "first", Rec: base},
+		{Label: "second", Rec: second},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	evaluated := 0
+	sweep, err := RunSweepContext(ctx, a.Graph, variants, Config{
+		Users:               a.Users[:2],
+		TopN:                4,
+		MaxScenariosPerUser: 1,
+		Methods:             fastMethods()[:1],
+		Explainer: emigre.Options{
+			AllowedEdgeTypes: a.UserActionEdgeTypes(),
+			AddEdgeType:      a.Types.Reviewed,
+			MaxTests:         10,
+		},
+		// Progress fires per (scenario, method) pair within a variant's
+		// run; canceling here lands mid-variant-1, so the pre-variant-2
+		// poll is the seam that must stop the sweep.
+		Progress: func(done, total int) {
+			evaluated++
+			cancel()
+		},
+	})
+	if err == nil {
+		t.Fatal("canceled sweep must return an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), `before variant "second"`) {
+		t.Fatalf("error must name the variant the sweep stopped at: %v", err)
+	}
+	if len(sweep) != 1 || sweep[0].Label != "first" {
+		t.Fatalf("completed variants = %+v, want exactly the first", sweep)
+	}
+	firstRuns := evaluated
+	if firstRuns == 0 {
+		t.Fatal("variant 1 must have evaluated at least one pair")
+	}
+}
+
+// TestRunSweepContextBackground pins that the delegating RunSweep path
+// (background context) is unchanged by the cancellation plumbing.
+func TestRunSweepContextBackground(t *testing.T) {
+	cfg := dataset.SmallConfig()
+	cfg.Users = 8
+	cfg.Items = 80
+	cfg.Categories = 3
+	a, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rec.DefaultConfig(a.Types.Item)
+	base.PPR.Epsilon = 1e-6
+	sweep, err := RunSweepContext(context.Background(), a.Graph,
+		[]SweepVariant{{Label: "only", Rec: base}}, Config{
+			Users:               a.Users[:1],
+			TopN:                3,
+			MaxScenariosPerUser: 1,
+			Methods:             fastMethods()[:1],
+			Explainer: emigre.Options{
+				AllowedEdgeTypes: a.UserActionEdgeTypes(),
+				AddEdgeType:      a.Types.Reviewed,
+				MaxTests:         10,
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 1 {
+		t.Fatalf("sweep points = %d, want 1", len(sweep))
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry hot path must stay cheap enough to sit inside PPR push
+// loops' epilogues and the HTTP middleware: a counter add is one atomic
+// RMW, a disabled add is one atomic load + branch.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	defer SetEnabled(true)
+	c := NewRegistry().Counter("bench_total", "h")
+	SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "h")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "h", DefBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, route := range []string{"/a", "/b", "/c", "/d"} {
+		r.Counter("bench_requests_total", "h", L("route", route), L("code", "2xx")).Add(7)
+		r.Histogram("bench_seconds", "h", DefBuckets(), L("route", route)).Observe(0.1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+	}
+}

@@ -88,7 +88,13 @@ func (d *DynamicForwardPush) UpdateContext(ctx context.Context, newView hin.View
 		}
 	}
 	d.view = newView
-	return d.push(ctx)
+	before := d.UpdatePushes
+	if err := d.push(ctx); err != nil {
+		return err
+	}
+	dynamicUpdates.Inc()
+	pushesDynamic.Add(int64(d.UpdatePushes - before))
+	return nil
 }
 
 // transitionDelta returns W′(u,·) − W(u,·) as a sparse map over the

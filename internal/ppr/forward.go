@@ -131,5 +131,7 @@ func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) 
 			return true
 		})
 	}
-	return &PushResult{Estimates: p, Residuals: r, Pushes: pushes}, nil
+	res := &PushResult{Estimates: p, Residuals: r, Pushes: pushes}
+	recordPush(runsForward, pushesForward, residualMassForward, res)
+	return res, nil
 }

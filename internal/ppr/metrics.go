@@ -1,0 +1,58 @@
+package ppr
+
+import "github.com/why-not-xai/emigre/internal/obs"
+
+// Engine-level metrics, exported on the process-global obs registry:
+// the engines already tally their work locally (push counts, power
+// sweeps, walk counts), so instrumentation is a handful of batched
+// counter adds at the end of each run — never inside the hot loops.
+// The residual-mass histogram needs an O(n) sum the engines do not
+// otherwise compute; it is gated on obs.Enabled so disabling metrics
+// removes the pass entirely.
+var (
+	runsForward = obs.Default().Counter("emigre_ppr_runs_total",
+		"Completed PPR engine runs by engine.", obs.L("engine", "forward_push"))
+	runsReverse = obs.Default().Counter("emigre_ppr_runs_total",
+		"Completed PPR engine runs by engine.", obs.L("engine", "reverse_push"))
+	runsPower = obs.Default().Counter("emigre_ppr_runs_total",
+		"Completed PPR engine runs by engine.", obs.L("engine", "power"))
+	runsMonteCarlo = obs.Default().Counter("emigre_ppr_runs_total",
+		"Completed PPR engine runs by engine.", obs.L("engine", "monte_carlo"))
+
+	pushesForward = obs.Default().Counter("emigre_ppr_pushes_total",
+		"Individual local-push operations by engine.", obs.L("engine", "forward_push"))
+	pushesReverse = obs.Default().Counter("emigre_ppr_pushes_total",
+		"Individual local-push operations by engine.", obs.L("engine", "reverse_push"))
+	pushesDynamic = obs.Default().Counter("emigre_ppr_pushes_total",
+		"Individual local-push operations by engine.", obs.L("engine", "dynamic"))
+
+	powerIterations = obs.Default().Counter("emigre_ppr_iterations_total",
+		"Power-iteration sweeps (each O(E)) across both directions.")
+	walkChunks = obs.Default().Counter("emigre_ppr_walks_total",
+		"Monte Carlo random walks sampled.")
+	dynamicUpdates = obs.Default().Counter("emigre_ppr_dynamic_updates_total",
+		"Dynamic forward-push incremental updates applied.")
+
+	// residualMass spans n·ε (the push termination bound, ~1e-3 on the
+	// paper's graphs) down to fully drained vectors.
+	residualMassForward = obs.Default().Histogram("emigre_ppr_residual_mass",
+		"Terminal residual L1 mass of completed push runs.",
+		obs.ExpBuckets(1e-9, 10, 10), obs.L("engine", "forward_push"))
+	residualMassReverse = obs.Default().Histogram("emigre_ppr_residual_mass",
+		"Terminal residual L1 mass of completed push runs.",
+		obs.ExpBuckets(1e-9, 10, 10), obs.L("engine", "reverse_push"))
+)
+
+// recordPush tallies one completed static push run.
+func recordPush(runs, pushes *obs.Counter, hist *obs.Histogram, res *PushResult) {
+	if !obs.Enabled() {
+		return
+	}
+	runs.Inc()
+	pushes.Add(int64(res.Pushes))
+	var mass float64
+	for _, r := range res.Residuals {
+		mass += abs(r)
+	}
+	hist.Observe(mass)
+}

@@ -86,6 +86,8 @@ func (e *MonteCarlo) FromSourceContext(ctx context.Context, g hin.View, s hin.No
 	for v, c := range counts {
 		p[v] = float64(c) / float64(walks)
 	}
+	runsMonteCarlo.Inc()
+	walkChunks.Add(int64(walks))
 	return p, nil
 }
 

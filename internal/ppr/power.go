@@ -77,6 +77,8 @@ func (e *Power) FromSourceContext(ctx context.Context, g hin.View, s hin.NodeID)
 		}
 		p, next = next, p
 		if diff < e.Params.Tol {
+			runsPower.Inc()
+			powerIterations.Add(int64(iter) + 1)
 			return p, nil
 		}
 	}
@@ -131,6 +133,8 @@ func (e *Power) ToTargetContext(ctx context.Context, g hin.View, t hin.NodeID) (
 		}
 		c, next = next, c
 		if diff < e.Params.Tol {
+			runsPower.Inc()
+			powerIterations.Add(int64(iter) + 1)
 			return c, nil
 		}
 	}

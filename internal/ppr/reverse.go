@@ -127,5 +127,7 @@ func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) 
 			return true
 		})
 	}
-	return &PushResult{Estimates: p, Residuals: r, Pushes: pushes}, nil
+	res := &PushResult{Estimates: p, Residuals: r, Pushes: pushes}
+	recordPush(runsReverse, pushesReverse, residualMassReverse, res)
+	return res, nil
 }

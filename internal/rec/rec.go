@@ -211,6 +211,21 @@ func (r *Recommender) Config() Config { return r.cfg }
 // scoring.
 func (r *Recommender) SetCache(c *pprcache.Cache) { r.cache = c }
 
+// WithCache returns a copy of the recommender with the shared PPR-
+// vector cache attached (nil detaches). The receiver is never mutated,
+// so callers that must not alias the original's future state — the
+// server and the explainer both rebind a borrowed recommender to their
+// own cache — get a clone with the same safety contract as WithView:
+// the flat snapshot (when already built) is read-shared, everything
+// else is independent. Unlike a bare struct copy at the call site,
+// adding synchronization state to Recommender later only requires
+// updating this one constructor.
+func (r *Recommender) WithCache(c *pprcache.Cache) *Recommender {
+	cp := *r
+	cp.cache = c
+	return &cp
+}
+
 // Cache returns the attached vector cache, nil when none.
 func (r *Recommender) Cache() *pprcache.Cache { return r.cache }
 

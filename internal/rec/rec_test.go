@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
 	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/pprcache"
 )
 
 // smallShop builds a bidirectional user-item-category graph:
@@ -331,5 +333,64 @@ func TestBetaAffectsScores(t *testing.T) {
 	}
 	if maxDiff < 1e-6 {
 		t.Fatal("beta mix had no effect on scores despite unequal weights")
+	}
+}
+
+// TestWithCacheClonesRecommender pins the WithCache contract: the
+// returned recommender carries the cache, the receiver is untouched,
+// and both score over the same view. This is the seam the server uses
+// to rebind a borrowed recommender to its private cache — before the
+// constructor existed, call sites took shallow struct copies that would
+// silently alias any state Recommender grows later.
+func TestWithCacheClonesRecommender(t *testing.T) {
+	g, cfg, ids := smallShop(t)
+	r, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := pprcache.New(pprcache.Config{})
+
+	cloned := r.WithCache(cache)
+	if r.Cache() != nil {
+		t.Fatal("WithCache mutated the receiver")
+	}
+	if cloned == r {
+		t.Fatal("WithCache must return a distinct instance")
+	}
+	if cloned.Cache() != cache {
+		t.Fatal("clone does not carry the cache")
+	}
+
+	// Both instances produce identical recommendations.
+	want, err := r.TopN(ids["u1"], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cloned.TopN(ids["u1"], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("clone TopN len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node || !fmath.Eq(got[i].Score, want[i].Score) {
+			t.Fatalf("clone TopN[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The clone's scoring populated the cache; the original stays
+	// detached from it.
+	if cache.Stats().Misses == 0 {
+		t.Fatal("clone never touched the attached cache")
+	}
+
+	// Detaching via WithCache(nil) works and still leaves the receiver
+	// (which has the cache here) alone.
+	detached := cloned.WithCache(nil)
+	if detached.Cache() != nil {
+		t.Fatal("WithCache(nil) must detach")
+	}
+	if cloned.Cache() != cache {
+		t.Fatal("WithCache(nil) mutated its receiver")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"github.com/why-not-xai/emigre/internal/obs"
 )
 
 // ErrSaturated is returned by admission.Acquire when both the
@@ -22,6 +24,15 @@ type admission struct {
 	used     int64
 	maxQueue int
 	waiters  []*admissionWaiter
+
+	// Optional saturation counters (obs metrics are nil-safe, so a
+	// controller built without a registry records nothing). rejections
+	// counts Acquire calls shed with ErrSaturated; clamped counts
+	// Acquire calls whose requested weight exceeded capacity and was
+	// silently clamped down — the signal that capacity is undersized
+	// for the workload's widest requests.
+	rejections *obs.Counter
+	clamped    *obs.Counter
 }
 
 type admissionWaiter struct {
@@ -60,6 +71,11 @@ func (a *admission) clamp(n int64) int64 {
 // queue is full, and ctx.Err() when the context is done before units
 // become available.
 func (a *admission) Acquire(ctx context.Context, n int64) error {
+	if n > a.capacity {
+		// Counted here and not in clamp: Release re-clamps the same raw
+		// weight, which must not double-count the event.
+		a.clamped.Inc()
+	}
 	n = a.clamp(n)
 	a.mu.Lock()
 	if a.used+n <= a.capacity && len(a.waiters) == 0 {
@@ -69,6 +85,7 @@ func (a *admission) Acquire(ctx context.Context, n int64) error {
 	}
 	if len(a.waiters) >= a.maxQueue {
 		a.mu.Unlock()
+		a.rejections.Inc()
 		return ErrSaturated
 	}
 	w := &admissionWaiter{n: n, ready: make(chan struct{})}
@@ -109,6 +126,20 @@ func (a *admission) Release(n int64) {
 	}
 	a.grantLocked()
 	a.mu.Unlock()
+}
+
+// Used returns the units currently admitted.
+func (a *admission) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// QueueLen returns the number of requests waiting for admission.
+func (a *admission) QueueLen() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.waiters))
 }
 
 // grantLocked grants units to queued waiters in FIFO order, stopping at

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/why-not-xai/emigre/internal/obs"
 )
 
 func TestAdmissionImmediateGrant(t *testing.T) {
@@ -159,4 +161,66 @@ func waitForWaiters(t *testing.T, a *admission, n int) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("never saw %d waiters", n)
+}
+
+// TestAdmissionClampContract documents the clamp contract end to end
+// and pins its observability counter: a weight outside [1, capacity]
+// is clamped on both Acquire and Release (so callers may pass the raw
+// weight to both), but only Acquire counts the clamp — Release
+// re-clamping the same raw weight must not double-count the event.
+func TestAdmissionClampContract(t *testing.T) {
+	a := newAdmission(4, 0)
+	reg := obs.NewRegistry()
+	a.clamped = reg.Counter("emigre_admission_clamped_weights_total", "t")
+	a.rejections = reg.Counter("emigre_admission_rejections_total", "t")
+
+	// Over-capacity weight: admitted, occupying exactly capacity units.
+	if err := a.Acquire(context.Background(), 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Used(); got != 4 {
+		t.Fatalf("Used = %d, want capacity 4 (clamped)", got)
+	}
+	if got := a.clamped.Value(); got != 1 {
+		t.Fatalf("clamped counter = %d, want 1", got)
+	}
+
+	// The gate is full: the next request is shed and counted.
+	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if got := a.rejections.Value(); got != 1 {
+		t.Fatalf("rejections counter = %d, want 1", got)
+	}
+
+	// Releasing the same raw weight balances the books without a second
+	// clamp event.
+	a.Release(9)
+	if got := a.Used(); got != 0 {
+		t.Fatalf("Used after release = %d, want 0", got)
+	}
+	if got := a.clamped.Value(); got != 1 {
+		t.Fatalf("clamped counter after release = %d, want 1 (no double count)", got)
+	}
+
+	// Sub-minimum weights are clamped up to 1 silently: that clamp is
+	// the "every request is satisfiable" floor, not a saturation
+	// signal, so the counter must not move.
+	if err := a.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Used(), int64(1); got != want {
+		t.Fatalf("Used = %d, want %d", got, want)
+	}
+	if got := a.clamped.Value(); got != 1 {
+		t.Fatalf("clamped counter after sub-minimum acquire = %d, want 1", got)
+	}
+	a.Release(0)
+
+	// A controller without counters (nil obs metrics) keeps working.
+	bare := newAdmission(1, 0)
+	if err := bare.Acquire(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	bare.Release(5)
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -37,7 +38,9 @@ func recordTests(ctx context.Context, tests int) {
 }
 
 // statusWriter captures the response status for logging and panic
-// recovery.
+// recovery, passing interface upgrades (http.Flusher, io.ReaderFrom)
+// through to the wrapped writer so streaming handlers and sendfile
+// still work behind the middleware.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -58,6 +61,33 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.wrote = true
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, the
+// stdlib's interface-upgrade convention for middleware writers.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush implements http.Flusher when the wrapped writer does. Flushing
+// an unwritten response commits an implicit 200, exactly like Write.
+func (w *statusWriter) Flush() {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom preserves the wrapped writer's io.ReaderFrom fast path
+// (sendfile on *http.response); io.Copy degrades gracefully when the
+// wrapped writer does not implement it.
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return io.Copy(w.ResponseWriter, src)
 }
 
 // withMiddleware wraps the route tree with panic recovery and
@@ -85,10 +115,15 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				s.log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 				if !sw.wrote {
 					s.writeErr(sw, http.StatusInternalServerError, errors.New("internal server error"))
-				} else {
-					sw.status = http.StatusInternalServerError
 				}
+				// When the handler had already written a status before
+				// panicking, that status is what the client observed —
+				// the request log must not claim a 500 that never
+				// reached the wire. The panic line above carries the
+				// fault; sw.status stays the on-wire truth.
 			}
+			elapsed := time.Since(start)
+			s.routeFor(r.URL.Path).observe(sw.status, elapsed)
 			line := ""
 			if info.hasTests {
 				line = " tests=" + strconv.Itoa(info.tests)
@@ -100,7 +135,7 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				line += " par=" + strconv.FormatInt(c, 10) + "c/" + strconv.FormatInt(wd, 10) + "w"
 			}
 			s.log.Printf("%s %s %d %s%s",
-				r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), line)
+				r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond), line)
 		}()
 		next.ServeHTTP(sw, r)
 	})

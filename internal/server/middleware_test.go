@@ -1,0 +1,155 @@
+package server
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// readFromRecorder is a ResponseRecorder that additionally implements
+// io.ReaderFrom, so tests can observe whether a middleware writer
+// preserves the fast path.
+type readFromRecorder struct {
+	*httptest.ResponseRecorder
+	readFromCalled bool
+}
+
+func (r *readFromRecorder) ReadFrom(src io.Reader) (int64, error) {
+	r.readFromCalled = true
+	return io.Copy(r.ResponseRecorder, src)
+}
+
+// TestStatusWriterFlushReachesRecorder pins the interface-upgrade fix:
+// before statusWriter grew Flush/Unwrap, wrapping the writer silently
+// dropped http.Flusher, so streaming handlers behind the middleware
+// could never flush (the type assertion below failed and
+// recorder.Flushed stayed false).
+func TestStatusWriterFlushReachesRecorder(t *testing.T) {
+	srv, _ := newTestServerCfg(t, func(c *Config) { c.Logger = log.New(io.Discard, "", 0) })
+	sawFlusher := false
+	srv.mux.HandleFunc("GET /stream", func(w http.ResponseWriter, _ *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			return // sawFlusher stays false; asserted below
+		}
+		sawFlusher = true
+		if _, err := w.Write([]byte("chunk")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		f.Flush()
+	})
+	rec := do(t, srv.Handler(), "GET", "/stream", nil)
+	if !sawFlusher {
+		t.Fatal("middleware writer must implement http.Flusher")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying recorder")
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (flush commits an implicit 200)", rec.Code)
+	}
+}
+
+// TestStatusWriterResponseController covers the stdlib Unwrap
+// convention: http.ResponseController must find its way through the
+// middleware writer to the recorder's Flush.
+func TestStatusWriterResponseController(t *testing.T) {
+	srv, _ := newTestServerCfg(t, func(c *Config) { c.Logger = log.New(io.Discard, "", 0) })
+	var rcErr error
+	srv.mux.HandleFunc("GET /rc", func(w http.ResponseWriter, _ *http.Request) {
+		rcErr = http.NewResponseController(w).Flush()
+	})
+	rec := do(t, srv.Handler(), "GET", "/rc", nil)
+	if rcErr != nil {
+		t.Fatalf("ResponseController.Flush through the middleware: %v", rcErr)
+	}
+	if !rec.Flushed {
+		t.Fatal("controller flush did not reach the recorder")
+	}
+}
+
+// TestStatusWriterReadFromPassthrough pins that io.Copy onto the
+// middleware writer reaches the underlying writer's io.ReaderFrom
+// (sendfile on a real connection) and still records the implicit 200.
+func TestStatusWriterReadFromPassthrough(t *testing.T) {
+	under := &readFromRecorder{ResponseRecorder: httptest.NewRecorder()}
+	sw := &statusWriter{ResponseWriter: under, status: http.StatusOK}
+	var w http.ResponseWriter = sw
+	if _, ok := w.(io.ReaderFrom); !ok {
+		t.Fatal("middleware writer must implement io.ReaderFrom")
+	}
+	// Hide strings.Reader's WriterTo: io.Copy prefers src.WriteTo over
+	// dst.ReadFrom, and this test is about the dst side.
+	src := struct{ io.Reader }{strings.NewReader("payload")}
+	n, err := io.Copy(w, src)
+	if err != nil || n != int64(len("payload")) {
+		t.Fatalf("copy = %d, %v", n, err)
+	}
+	if !under.readFromCalled {
+		t.Fatal("ReadFrom did not reach the underlying writer")
+	}
+	if !sw.wrote || sw.status != http.StatusOK {
+		t.Fatalf("ReadFrom must commit an implicit 200, got wrote=%v status=%d", sw.wrote, sw.status)
+	}
+	if got := under.Body.String(); got != "payload" {
+		t.Fatalf("body = %q", got)
+	}
+}
+
+// TestPanicAfterWriteHeaderLogsOnWireStatus pins the panic-recovery
+// fix: when a handler panics after writing a status, the request log
+// must report the status the client actually observed — previously it
+// rewrote the tally to 500 even though no 500 ever reached the wire.
+func TestPanicAfterWriteHeaderLogsOnWireStatus(t *testing.T) {
+	var buf syncBuffer
+	srv, _ := newTestServerCfg(t, func(c *Config) { c.Logger = log.New(&buf, "", 0) })
+	srv.mux.HandleFunc("GET /lateboom", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+		panic("late kaboom")
+	})
+	rec := do(t, srv.Handler(), "GET", "/lateboom", nil)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("on-wire status = %d, want 204", rec.Code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "late kaboom") {
+		t.Fatalf("log missing the panic line:\n%s", out)
+	}
+	var reqLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "GET /lateboom") {
+			reqLine = line
+			break
+		}
+	}
+	if reqLine == "" {
+		t.Fatalf("no request log line for /lateboom:\n%s", out)
+	}
+	if !strings.Contains(reqLine, " 204 ") {
+		t.Fatalf("request line must carry the on-wire 204: %q", reqLine)
+	}
+	if strings.Contains(reqLine, " 500 ") {
+		t.Fatalf("request line claims a 500 that never reached the wire: %q", reqLine)
+	}
+}
+
+// TestPanicBeforeWriteStillAnswers500 keeps the original recovery
+// contract intact next to the fix: an unwritten response still turns
+// into a logged 500.
+func TestPanicBeforeWriteStillAnswers500(t *testing.T) {
+	var buf syncBuffer
+	srv, _ := newTestServerCfg(t, func(c *Config) { c.Logger = log.New(&buf, "", 0) })
+	srv.mux.HandleFunc("GET /earlyboom", func(http.ResponseWriter, *http.Request) {
+		panic("early kaboom")
+	})
+	rec := do(t, srv.Handler(), "GET", "/earlyboom", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if out := buf.String(); !strings.Contains(out, " 500 ") {
+		t.Fatalf("request line must log the 500:\n%s", out)
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	emigre "github.com/why-not-xai/emigre"
 	"github.com/why-not-xai/emigre/internal/cli"
+	"github.com/why-not-xai/emigre/internal/obs"
 )
 
 // Tuning defaults used when the corresponding Config field is zero.
@@ -91,6 +92,12 @@ type Config struct {
 	// Logger receives the per-request log lines and server warnings.
 	// Nil means log.Default().
 	Logger *log.Logger
+	// Metrics is the registry GET /metrics serves and the server's own
+	// instrumentation (HTTP, cache, admission, pipeline) registers
+	// into. Nil means obs.Default(). The endpoint additionally renders
+	// obs.Default() so package-deep metrics (PPR engines) are always
+	// covered.
+	Metrics *obs.Registry
 }
 
 // Server handles the HTTP API. Create with New, mount via Handler.
@@ -109,6 +116,11 @@ type Server struct {
 	// cache is the shared PPR-vector cache behind /recommend's forward
 	// vectors and /explain's searches; nil when disabled by Config.
 	cache *emigre.PPRCache
+	// metrics is the registry everything below registers into; routes
+	// maps known paths to their pre-created HTTP series so the
+	// middleware's hot path never touches the registry lock.
+	metrics *obs.Registry
+	routes  map[string]*routeMetrics
 }
 
 // New builds a server and eagerly warms the recommender's flat
@@ -141,8 +153,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	// The vector cache is shared by the recommender (forward vectors
 	// behind /recommend) and the explainer (reverse columns and CHECK
-	// scores behind /explain). The recommender is rebound via a copy so
-	// the caller's instance is not mutated.
+	// scores behind /explain). The recommender is rebound via the
+	// WithCache clone constructor so the caller's instance is not
+	// mutated (and no struct copy here silently aliases state the
+	// Recommender may grow later).
 	var cache *emigre.PPRCache
 	r := cfg.Recommender
 	if cfg.CacheEntries >= 0 && cfg.CacheBytes >= 0 {
@@ -150,15 +164,17 @@ func New(cfg Config) (*Server, error) {
 			MaxEntries: cfg.CacheEntries,
 			MaxBytes:   cfg.CacheBytes,
 		})
-		rc := *r
-		rc.SetCache(cache)
-		r = &rc
+		r = r.WithCache(cache)
 		cfg.Options.Cache = cache
 	} else {
 		cfg.Options.DisableCache = true
 	}
 	if cfg.ExplainWorkers > 0 {
 		cfg.Options.Parallelism = cfg.ExplainWorkers
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.Default()
 	}
 	s := &Server{
 		g:        cfg.Graph,
@@ -169,17 +185,114 @@ func New(cfg Config) (*Server, error) {
 		timeout:  timeout,
 		log:      logger,
 		cache:    cache,
+		metrics:  metrics,
 	}
+	s.registerMetrics()
 	s.r.Flat() // warm the shared snapshot before concurrency starts
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", obs.Handler(s.metrics, obs.Default()))
 	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /diagnose", s.handleDiagnose)
 	s.handler = s.withMiddleware(s.mux)
 	return s, nil
+}
+
+// routeMetrics is one route's pre-created HTTP series: a latency
+// histogram and one counter per status class.
+type routeMetrics struct {
+	duration *obs.Histogram
+	// codes is indexed by status/100 - 1 ("1xx" .. "5xx").
+	codes [5]*obs.Counter
+}
+
+// observe records one served request.
+func (m *routeMetrics) observe(status int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.duration.Observe(elapsed.Seconds())
+	class := status/100 - 1
+	if class < 0 || class >= len(m.codes) {
+		class = 4 // defensive: treat out-of-range statuses as 5xx
+	}
+	m.codes[class].Inc()
+}
+
+// metricRoutes are the route label values of the HTTP series; requests
+// outside the route tree are tallied under "other" so unmatched paths
+// cannot mint unbounded label values.
+var metricRoutes = []string{
+	"/healthz", "/readyz", "/stats", "/metrics",
+	"/recommend", "/explain", "/diagnose", "other",
+}
+
+// registerMetrics creates the server-level series on s.metrics: the
+// per-route HTTP layer, and callback exports over the tallies the
+// cache, the admission controller and the CHECK pipeline already keep.
+// Counters and histograms are get-or-create, so servers sharing one
+// registry (tests, obs.Default) share series; callbacks re-register by
+// replacement, so the newest server owns them.
+func (s *Server) registerMetrics() {
+	reg := s.metrics
+	s.routes = make(map[string]*routeMetrics, len(metricRoutes))
+	classes := [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+	for _, route := range metricRoutes {
+		m := &routeMetrics{
+			duration: reg.Histogram("emigre_http_request_duration_seconds",
+				"Wall time to serve a request by route.", obs.DefBuckets(),
+				obs.L("route", route)),
+		}
+		for i, class := range classes {
+			m.codes[i] = reg.Counter("emigre_http_requests_total",
+				"Requests served by route and status class.",
+				obs.L("route", route), obs.L("code", class))
+		}
+		s.routes[route] = m
+	}
+
+	if s.cache != nil {
+		s.cache.RegisterMetrics(reg)
+	}
+
+	s.adm.rejections = reg.Counter("emigre_admission_rejections_total",
+		"Requests shed with 503: queue full on arrival.")
+	s.adm.clamped = reg.Counter("emigre_admission_clamped_weights_total",
+		"Admission weights clamped down to capacity (requests wider than the whole gate).")
+	reg.GaugeFunc("emigre_admission_inflight_units",
+		"Units of search work currently admitted.", s.adm.Used)
+	reg.GaugeFunc("emigre_admission_queue_depth",
+		"Requests waiting for admission.", s.adm.QueueLen)
+	reg.GaugeFunc("emigre_admission_capacity_units",
+		"Configured admission capacity.", func() int64 { return s.capacity })
+
+	reg.CounterFunc("emigre_pipeline_parallel_runs_total",
+		"Searches evaluated by the parallel CHECK pipeline.",
+		func() int64 { return s.ex.PipelineStats().ParallelRuns })
+	reg.CounterFunc("emigre_pipeline_checks_committed_total",
+		"CHECK verdicts applied in stream order.",
+		func() int64 { return s.ex.PipelineStats().ChecksCommitted })
+	reg.CounterFunc("emigre_pipeline_speculative_waste_total",
+		"Completed checks discarded by ordered commit.",
+		func() int64 { return s.ex.PipelineStats().SpeculativeWaste })
+	reg.GaugeFunc("emigre_pipeline_inflight_checks",
+		"Speculative checks running right now.",
+		func() int64 { return s.ex.PipelineStats().InflightChecks })
+	reg.GaugeFunc("emigre_pipeline_workers",
+		"Configured per-request CHECK parallelism.",
+		func() int64 { return int64(s.ex.PipelineStats().Workers) })
+}
+
+// routeFor maps a request path to its metrics entry ("other" for paths
+// outside the route tree).
+func (s *Server) routeFor(path string) *routeMetrics {
+	if m, ok := s.routes[path]; ok {
+		return m
+	}
+	return s.routes["other"]
 }
 
 // Handler returns the HTTP handler tree (middleware included).
