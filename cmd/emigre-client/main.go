@@ -1,0 +1,125 @@
+// Command emigre-client exercises an emigre-server through the
+// resilient client: retries with backoff and jitter, Retry-After
+// honoring, and explicit reporting of degraded responses.
+//
+//	emigre-client -addr http://localhost:8080 -op ready
+//	emigre-client -addr http://localhost:8080 -op recommend -user Paul
+//	emigre-client -addr http://localhost:8080 -op explain -user Paul -wni "The Hobbit"
+//	emigre-client -addr http://localhost:8080 -op explain -user Paul -wni Dune -timeout 500ms -count 10
+//
+// The exit status is 0 when every call converged (degraded answers
+// included) and 1 otherwise. -stats prints the retry tallies on exit,
+// which is what the chaos-smoke CI job asserts on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/why-not-xai/emigre/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emigre-client: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "server base URL")
+		op       = flag.String("op", "explain", "operation: explain, recommend, diagnose, ready")
+		user     = flag.String("user", "", "user node (label or ID)")
+		wni      = flag.String("wni", "", "why-not item (label or ID)")
+		items    = flag.String("items", "", "comma-separated group items (group explain)")
+		category = flag.String("category", "", "category node (category explain)")
+		mode     = flag.String("mode", "remove", "explanation mode")
+		method   = flag.String("method", "powerset", "search method")
+		timeout  = flag.Duration("timeout", 30*time.Second, "overall deadline per call")
+		budgetMS = flag.Int("timeout-ms", 0, "server-side budget (timeout_ms) sent with explain requests; 0 = server default")
+		attempts = flag.Int("attempts", client.DefaultMaxAttempts, "max attempts per call")
+		count    = flag.Int("count", 1, "how many times to run the call")
+		topN     = flag.Int("n", 10, "recommendation list length")
+		stats    = flag.Bool("stats", false, "print client retry stats as JSON on exit")
+	)
+	flag.Parse()
+
+	c, err := client.New(client.Config{BaseURL: *addr, MaxAttempts: *attempts})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failures := 0
+	for i := 0; i < *count; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := runOne(ctx, c, *op, *user, *wni, *items, *category, *mode, *method, *topN, *budgetMS)
+		cancel()
+		if err != nil {
+			failures++
+			log.Printf("call %d/%d failed: %v", i+1, *count, err)
+		}
+	}
+	if *stats {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Stats()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d/%d call(s) failed", failures, *count)
+	}
+}
+
+func runOne(ctx context.Context, c *client.Client, op, user, wni, items, category, mode, method string, topN, budgetMS int) error {
+	switch op {
+	case "ready":
+		if err := c.Ready(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ready")
+		return nil
+	case "recommend":
+		out, err := c.Recommend(ctx, user, topN)
+		if err != nil {
+			return err
+		}
+		for _, it := range out.Items {
+			name := it.Label
+			if name == "" {
+				name = fmt.Sprint(it.Node)
+			}
+			fmt.Printf("%-30s %.6g\n", name, it.Score)
+		}
+		return nil
+	case "diagnose":
+		out, err := c.Diagnose(ctx, client.DiagnoseRequest{User: user, WNI: wni, Mode: mode})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", out.Kind, out.Detail)
+		for _, a := range out.Actions {
+			fmt.Printf("  - %s\n", a)
+		}
+		return nil
+	case "explain":
+		req := client.ExplainRequest{User: user, WNI: wni, Category: category, Mode: mode, Method: method, TimeoutMS: budgetMS}
+		if items != "" {
+			req.Items = strings.Split(items, ",")
+			req.WNI = ""
+		}
+		out, err := c.Explain(ctx, req)
+		if err != nil {
+			return err
+		}
+		if out.Degraded {
+			fmt.Printf("[degraded: %s] ", out.DegradedLevel)
+		}
+		fmt.Println(out.Description)
+		return nil
+	default:
+		return fmt.Errorf("unknown -op %q (want explain, recommend, diagnose or ready)", op)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	emigre "github.com/why-not-xai/emigre"
 	"github.com/why-not-xai/emigre/internal/cli"
+	"github.com/why-not-xai/emigre/internal/fault"
 	"github.com/why-not-xai/emigre/internal/obs"
 	"github.com/why-not-xai/emigre/internal/server"
 )
@@ -62,10 +63,26 @@ func main() {
 			"PPR-vector cache capacity in bytes (0 = caching disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long to wait for in-flight requests on shutdown")
+		noDegrade = flag.Bool("no-degrade", false,
+			"disable the degradation ladder: deadline-squeezed explanations 504 instead of stepping down to lean/cache-only/partial answers")
 		debugAddr = flag.String("debug-addr", "",
-			"optional second listen address serving net/http/pprof and /metrics; keep it private (empty = off)")
+			"optional second listen address serving net/http/pprof, /metrics and /debug/fault; keep it private (empty = off)")
+		failpoints = flag.String("failpoints", os.Getenv("EMIGRE_FAILPOINTS"),
+			"fault-injection schedule, e.g. 'pprcache.fill=error(boom)*1;emigre.check=sleep(25ms)' (default $EMIGRE_FAILPOINTS; test/chaos use only)")
+		faultSeed = flag.Int64("fault-seed", 0,
+			"seed for probabilistic failpoints (0 = nondeterministic)")
 	)
 	flag.Parse()
+
+	if *faultSeed != 0 {
+		fault.SetSeed(*faultSeed)
+	}
+	if *failpoints != "" {
+		if err := fault.Apply(*failpoints); err != nil {
+			log.Fatalf("-failpoints: %v", err)
+		}
+		log.Printf("fault injection armed: %d site(s) — NOT for production traffic", fault.ArmedCount())
+	}
 
 	g, err := cli.LoadGraph(*graphPath, *preset)
 	if err != nil {
@@ -116,12 +133,13 @@ func main() {
 			AddEdgeType:      addIDs[0],
 			MaxTests:         *maxTests,
 		},
-		ExplainTimeout: timeout,
-		MaxConcurrent:  *maxConcurrent,
-		ExplainWorkers: *explainWorkers,
-		QueueDepth:     queue,
-		CacheEntries:   entries,
-		CacheBytes:     bytes,
+		ExplainTimeout:  timeout,
+		MaxConcurrent:   *maxConcurrent,
+		ExplainWorkers:  *explainWorkers,
+		QueueDepth:      queue,
+		CacheEntries:    entries,
+		CacheBytes:      bytes,
+		DisableDegraded: *noDegrade,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -146,6 +164,7 @@ func main() {
 		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dm.Handle("/metrics", obs.Handler(obs.Default()))
+		dm.Handle("/debug/fault", fault.Handler())
 		debugServer := &http.Server{
 			Addr:              *debugAddr,
 			Handler:           dm,

@@ -1,10 +1,11 @@
 // Command emigre-vet runs the repository's custom static-analysis
-// suite (internal/lint) over the module: five stdlib-only analyzers
+// suite (internal/lint) over the module: six stdlib-only analyzers
 // enforcing the invariants the code relies on for correctness —
 // cancellation polling in unbounded search loops (ctxpoll), version
 // bumps on graph mutation (versionbump), fmath-routed float
-// comparisons (floateq), cache-routed PPR engine calls (rawengine) and
-// errors.Is for sentinel errors (errcmp).
+// comparisons (floateq), cache-routed PPR engine calls (rawengine),
+// errors.Is for sentinel errors (errcmp) and unique string-literal
+// failpoint names (faultsite).
 //
 // Usage:
 //

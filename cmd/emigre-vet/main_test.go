@@ -49,7 +49,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxpoll", "errcmp", "floateq", "rawengine", "versionbump"} {
+	for _, name := range []string{"ctxpoll", "errcmp", "faultsite", "floateq", "rawengine", "versionbump"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}

@@ -152,6 +152,14 @@ var (
 type CanceledError struct {
 	// Stats is the partial per-query work tally at cancellation time.
 	Stats Stats
+	// Partial, when non-nil, is the best unverified partial explanation
+	// the interrupted search can offer: the last candidate set it was
+	// about to CHECK (or the single highest-contribution candidate when
+	// it never reached a CHECK). It has the same epistemic status as an
+	// ExhaustiveDirect result — Verified is false, Partial is true, and
+	// NewTop is unknown — and exists so a deadline-squeezed server can
+	// degrade to a useful answer instead of a bare timeout.
+	Partial *Explanation
 	// Cause is the context error that stopped the search.
 	Cause error
 }
@@ -348,8 +356,14 @@ type Explanation struct {
 	// counterfactual new weight (Reweight mode only).
 	Reweights []hin.Edge
 	// Verified reports whether the CHECK step confirmed the explanation.
-	// It is false only for ExhaustiveDirect results.
+	// It is false only for ExhaustiveDirect results and for Partial
+	// explanations surfaced by an interrupted search.
 	Verified bool
+	// Partial marks an unverified best-effort explanation recovered from
+	// an interrupted search (CanceledError.Partial): the candidate set
+	// the search was evaluating when its deadline hit. NewTop is then
+	// hin.InvalidNode — no counterfactual claim is made.
+	Partial bool
 	// NewTop is the top-1 recommendation after applying Edges (equal to
 	// Query.WNI when Verified).
 	NewTop hin.NodeID
@@ -514,10 +528,19 @@ func (e *Explainer) explain(ctx context.Context, q Query, accept map[hin.NodeID]
 	}
 	if err != nil {
 		// Stamp the elapsed time into the partial stats of a canceled
-		// search so a 504 handler can report how long it actually ran.
+		// search so a 504 handler can report how long it actually ran,
+		// and attach the best partial explanation the session tracked so
+		// a degraded handler can answer with it.
 		var ce *CanceledError
 		if errors.As(err, &ce) {
 			ce.Stats.Duration = time.Since(start)
+			if ce.Partial == nil {
+				if p := s.partialExplanation(); p != nil {
+					p.Method = method
+					p.Stats = ce.Stats
+					ce.Partial = p
+				}
+			}
 		}
 		return nil, err
 	}
@@ -594,6 +617,12 @@ type session struct {
 	// dyn is the lazily created dynamic-push state used when
 	// Options.DynamicCheck is set.
 	dyn *ppr.DynamicForwardPush
+	// lastAttempt is the most recent candidate set submitted to CHECK,
+	// kept so an interrupted search can surface it as an unverified
+	// partial explanation (see CanceledError.Partial). Written by the
+	// evaluators at each yield; in parallel mode the generator goroutine
+	// writes it and the session reads it only after the pipeline joins.
+	lastAttempt []candidate
 }
 
 // candidate is one entry of the paper's list H: an edge that could be
@@ -706,6 +735,9 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 	if err := s.canceled(); err != nil {
 		return false, hin.InvalidNode, err
 	}
+	if err := checkSite.Hit(s.ctx); err != nil {
+		return false, hin.InvalidNode, s.wrapCtx(err)
+	}
 	if s.stats.Tests >= s.ex.opts.MaxTests {
 		return false, hin.InvalidNode, budgetExhausted(s.stats.Tests)
 	}
@@ -742,6 +774,11 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 // state it reads (graph, recommender snapshot, accept set, cache) is
 // read-only for the session's lifetime.
 func (s *session) checkOnce(ctx context.Context, cands []candidate) (bool, hin.NodeID, error) {
+	// The same CHECK seam the sequential path gates in check(): one
+	// failpoint hit per evaluation, whichever pipeline runs it.
+	if err := checkSite.Hit(ctx); err != nil {
+		return false, hin.InvalidNode, err
+	}
 	r2, err := s.counterfactual(cands)
 	if err != nil {
 		return false, hin.InvalidNode, err
@@ -870,6 +907,38 @@ func (s *session) dynamicRankAccepted(r2 *rec.Recommender, est ppr.Vector, k int
 // committed) does not suppress the CHECK step.
 func (s *session) gapFlipped(tau float64) bool {
 	return tau <= 1e-12*(1+math.Abs(s.tau))
+}
+
+// noteAttempt records the candidate set about to be CHECKed so a later
+// interruption can surface it via partialExplanation. The set is copied:
+// generators may reuse or extend their yield buffers.
+func (s *session) noteAttempt(cands []candidate) {
+	s.lastAttempt = append(s.lastAttempt[:0], cands...)
+}
+
+// partialExplanation renders the session's best-effort answer at
+// interruption time: the last candidate set submitted to CHECK, or —
+// when the search died before its first CHECK — the single
+// highest-contribution candidate of the search space. Nil when the
+// session has nothing defensible to offer. The result is unverified
+// (same epistemic status as ExhaustiveDirect) and marked Partial; the
+// caller stamps Method and Stats.
+func (s *session) partialExplanation() *Explanation {
+	cands := s.lastAttempt
+	if len(cands) == 0 {
+		if len(s.cands) == 0 {
+			return nil
+		}
+		cands = s.cands[:1]
+	}
+	p := s.found(cands, false, hin.InvalidNode)
+	p.Partial = true
+	p.Query = s.q
+	p.Mode = s.mode
+	p.OldTop = s.rec
+	p.TargetRank = s.ex.opts.TargetRank
+	p.Stats = s.stats
+	return p
 }
 
 func (s *session) found(cands []candidate, verified bool, newTop hin.NodeID) *Explanation {

@@ -1,0 +1,50 @@
+package emigre
+
+import (
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/fault"
+)
+
+// benchGateSite is a bench-only failpoint that is armed but never Hit:
+// arming it opens the process-wide fast gate so every planted hot-path
+// site takes its slow path (rule load, nil, return) without injecting
+// anything. That is the most expensive non-firing state the substrate
+// has, so the disarmed-vs-gate-open delta upper-bounds what failpoints
+// can cost a production process.
+var benchGateSite = fault.Register("bench.gate.sentinel")
+
+// BenchmarkExplainFaultOverhead measures the explain hot path with the
+// failpoint substrate in its two non-injecting states, on the same
+// fixture and query:
+//
+//   - disarmed: the shipped default — no schedule applied, every
+//     Site.Hit is one atomic load of the shared armed counter;
+//   - gate-open: an unrelated sentinel site is armed, forcing every
+//     hot-path Hit through the per-site rule load.
+//
+// The acceptance gate for the substrate is <1% overhead for the
+// disarmed state; since disarmed work is a strict subset of gate-open
+// work, gate-open within 1% of disarmed proves it with margin. Results
+// are committed as BENCH_fault.json.
+func BenchmarkExplainFaultOverhead(b *testing.B) {
+	run := func(b *testing.B, spec string) {
+		fault.DisarmAll()
+		if spec != "" {
+			if err := fault.Apply(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		defer fault.DisarmAll()
+		f := newBenchFixture(b, Options{})
+		q := f.query()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ex.ExplainWith(q, Remove, Powerset); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disarmed", func(b *testing.B) { run(b, "") })
+	b.Run("gate-open", func(b *testing.B) { run(b, "bench.gate.sentinel=sleep(0s)") })
+}

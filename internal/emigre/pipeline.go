@@ -7,7 +7,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/why-not-xai/emigre/internal/fault"
 	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// Failpoint sites on the CHECK path. checkSite fires at the head of
+// every sequential CHECK (session.check); workerSite fires in each
+// parallel pipeline worker before its speculative checkOnce. With a
+// sleep action either one deterministically stretches CHECK latency —
+// the lever the chaos suite and the CI chaos-smoke job use to force the
+// server's degradation ladder.
+var (
+	checkSite  = fault.Register("emigre.check")
+	workerSite = fault.Register("emigre.pipeline.worker")
 )
 
 // This file is the shared CHECK pipeline behind every search strategy.
@@ -98,6 +110,7 @@ func (s *session) runChecksSeq(gen checkStream) (pipelineOutcome, error) {
 		hardErr error
 	)
 	genErr := gen(func(cands []candidate) bool {
+		s.noteAttempt(cands)
 		ok, top, err := s.check(cands)
 		if err != nil {
 			if errors.Is(err, ErrBudgetExhausted) {
@@ -185,7 +198,7 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 					d.err = pctx.Err()
 				default:
 					m.inflight.Add(1)
-					d.ok, d.top, d.err = s.checkOnce(pctx, job.cands)
+					d.ok, d.top, d.err = runWorkerCheck(s, pctx, job.cands)
 					m.inflight.Add(-1)
 				}
 				results <- d
@@ -201,6 +214,7 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 	go func() {
 		ord := 0
 		err := gen(func(cands []candidate) bool {
+			s.noteAttempt(cands)
 			job := checkJob{ord: ord, cands: cands, combos: s.stats.CombosExamined}
 			select {
 			case jobs <- job:
@@ -322,6 +336,24 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 		return out, genErr
 	}
 	return out, nil
+}
+
+// runWorkerCheck is one speculative CHECK executed on a pipeline worker
+// goroutine: the worker failpoint, then the stateless checkOnce, with
+// panic containment — workers run outside any HTTP middleware recovery,
+// so a panicking engine (or an armed panic failpoint) must become an
+// ordinary verdict error at the job's stream position instead of
+// killing the process.
+func runWorkerCheck(s *session, ctx context.Context, cands []candidate) (ok bool, top hin.NodeID, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ok, top, err = false, hin.InvalidNode, fmt.Errorf("emigre: pipeline worker panicked: %v", p)
+		}
+	}()
+	if err := workerSite.Hit(ctx); err != nil {
+		return false, hin.InvalidNode, err
+	}
+	return s.checkOnce(ctx, cands)
 }
 
 // pipelineMetrics aggregates explainer-lifetime pipeline counters.

@@ -1,0 +1,294 @@
+package fault
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Test sites are registered once at package init — Register panics on
+// duplicates, so tests share this fixed catalog and arm/disarm per test.
+var (
+	siteErr   = Register("test.err")
+	siteSleep = Register("test.sleep")
+	sitePanic = Register("test.panic")
+	siteShots = Register("test.shots")
+	siteProb  = Register("test.prob")
+	siteRace  = Register("test.race")
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	DisarmAll()
+	if err := siteErr.Hit(context.Background()); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if err := siteErr.Hit(nil); err != nil {
+		t.Fatalf("disarmed Hit with nil ctx returned %v", err)
+	}
+	if siteErr.Hits() != 0 {
+		t.Fatalf("disarmed hits were counted: %d", siteErr.Hits())
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	defer DisarmAll()
+	if err := Apply("test.err=error(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	err := siteErr.Hit(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Hit returned %v, want ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "test.err" || ie.Msg != "boom" {
+		t.Fatalf("injected error = %#v", err)
+	}
+	if !strings.Contains(err.Error(), "test.err") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error text %q lacks site or message", err)
+	}
+	if siteErr.Injections() == 0 {
+		t.Fatal("injection was not counted")
+	}
+}
+
+func TestSleepActionHonorsContext(t *testing.T) {
+	defer DisarmAll()
+	if err := Apply("test.sleep=sleep(10s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := siteSleep.Hit(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted sleep returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("sleep ignored the context")
+	}
+
+	// A short sleep completes and injects no error.
+	if err := Apply("test.sleep=sleep(1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := siteSleep.Hit(context.Background()); err != nil {
+		t.Fatalf("completed sleep returned %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer DisarmAll()
+	if err := Apply("test.panic=panic(kaboom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("armed panic site did not panic")
+		}
+		if s, _ := p.(string); !strings.Contains(s, "test.panic") || !strings.Contains(s, "kaboom") {
+			t.Fatalf("panic value %v lacks site or message", p)
+		}
+	}()
+	_ = sitePanic.Hit(context.Background())
+}
+
+func TestOneShotDisarmsAfterN(t *testing.T) {
+	defer DisarmAll()
+	if err := Apply("test.shots=error(once)*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := siteShots.Hit(context.Background()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("shot %d: got %v, want injection", i, err)
+		}
+	}
+	if siteShots.Armed() {
+		t.Fatal("site still armed after shots exhausted")
+	}
+	if err := siteShots.Hit(context.Background()); err != nil {
+		t.Fatalf("exhausted site injected: %v", err)
+	}
+	if n := siteShots.Injections(); n != 2 {
+		t.Fatalf("injections = %d, want 2", n)
+	}
+}
+
+func TestProbabilisticFiresApproximately(t *testing.T) {
+	defer DisarmAll()
+	SetSeed(42)
+	base := siteProb.Injections()
+	if err := Apply("test.prob=error(maybe)%0.3"); err != nil {
+		t.Fatal(err)
+	}
+	const hits = 2000
+	injected := 0
+	for i := 0; i < hits; i++ {
+		if err := siteProb.Hit(context.Background()); err != nil {
+			injected++
+		}
+	}
+	if injected == 0 || injected == hits {
+		t.Fatalf("p=0.3 fired %d/%d times", injected, hits)
+	}
+	if got := siteProb.Injections() - base; got != int64(injected) {
+		t.Fatalf("injection counter %d != observed %d", got, injected)
+	}
+	// Loose bound: binomial(2000, 0.3) is within ±150 of 600 with
+	// overwhelming probability, and the RNG is seeded.
+	if injected < 450 || injected > 750 {
+		t.Fatalf("p=0.3 fired %d/%d times, far from expectation", injected, hits)
+	}
+}
+
+func TestApplyIsAtomic(t *testing.T) {
+	defer DisarmAll()
+	err := Apply("test.err=error(ok);test.sleep=slep(1ms)")
+	if err == nil {
+		t.Fatal("malformed schedule applied")
+	}
+	if siteErr.Armed() {
+		t.Fatal("partial schedule armed a site before the parse error")
+	}
+	if err := Apply("no.such.site=error"); err == nil || !strings.Contains(err.Error(), "unknown site") {
+		t.Fatalf("unknown site error = %v", err)
+	}
+}
+
+func TestApplyOffAndDisarmAll(t *testing.T) {
+	if err := Apply("test.err=error;test.sleep=sleep(1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if ArmedCount() < 2 {
+		t.Fatalf("armed count = %d, want >= 2", ArmedCount())
+	}
+	if err := Apply("test.err=off"); err != nil {
+		t.Fatal(err)
+	}
+	if siteErr.Armed() {
+		t.Fatal("off entry did not disarm")
+	}
+	DisarmAll()
+	if ArmedCount() != 0 {
+		t.Fatalf("armed count after DisarmAll = %d", ArmedCount())
+	}
+}
+
+func TestParseRuleRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"explode", "sleep", "sleep(xyz)", "sleep(-1s)",
+		"error*0", "error*-1", "error%0", "error%1.5", "error%x",
+		"error(unbalanced",
+	} {
+		if _, err := parseRule(bad); err == nil {
+			t.Errorf("parseRule(%q) accepted", bad)
+		}
+	}
+	r, err := parseRule("error(a*b%c)*3%0.5")
+	if err != nil {
+		t.Fatalf("modifiers after parenthesized message: %v", err)
+	}
+	if r.msg != "a*b%c" || r.total != 3 || r.prob != 0.5 {
+		t.Fatalf("parsed rule = %+v", r)
+	}
+}
+
+func TestConcurrentHitsRaceFree(t *testing.T) {
+	defer DisarmAll()
+	if err := Apply("test.race=error(race)*64%0.5"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = siteRace.Hit(context.Background())
+			}
+		}()
+	}
+	wg.Wait()
+	if n := siteRace.Injections(); n > 64 {
+		t.Fatalf("one-shot bound exceeded: %d injections", n)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	defer DisarmAll()
+	h := Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", strings.NewReader("test.err=error(via http)")))
+	if rec.Code != 200 {
+		t.Fatalf("POST schedule: %d %s", rec.Code, rec.Body)
+	}
+	if !siteErr.Armed() {
+		t.Fatal("POST did not arm the site")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var got []Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("GET body: %v", err)
+	}
+	found := false
+	for _, st := range got {
+		if st.Site == "test.err" && st.Armed && strings.Contains(st.Action, "error") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GET listing missing armed site: %s", rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", strings.NewReader("bogus")))
+	if rec.Code != 400 {
+		t.Fatalf("malformed schedule: %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/", nil))
+	if rec.Code != 200 || siteErr.Armed() {
+		t.Fatalf("DELETE did not disarm (code %d armed %v)", rec.Code, siteErr.Armed())
+	}
+}
+
+// BenchmarkHitDisarmed measures the disabled-failpoint cost: one atomic
+// load of the process-wide armed counter. This is the per-site price the
+// explain hot path pays in production.
+func BenchmarkHitDisarmed(b *testing.B) {
+	DisarmAll()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := siteErr.Hit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitGateOpen measures the cost when some *other* site is
+// armed: the global gate is open, so every site additionally loads its
+// own rule pointer and finds it nil.
+func BenchmarkHitGateOpen(b *testing.B) {
+	DisarmAll()
+	if err := Apply("test.sleep=sleep(1ms)"); err != nil {
+		b.Fatal(err)
+	}
+	defer DisarmAll()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := siteErr.Hit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the failpoint control endpoint, meant to be mounted
+// on the server's private debug listener (never the public API):
+//
+//	GET    — JSON list of every site with armed state and counters
+//	POST   — body is a schedule (site=action;...) applied via Apply;
+//	         400 with the parse error on a malformed schedule
+//	DELETE — disarm every site
+//
+// The handler mutates process-global state by design: it is the
+// test-and-operations lever for chaos experiments against a running
+// server.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, List())
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+			if err != nil {
+				http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			spec := strings.TrimSpace(string(body))
+			if err := Apply(spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, http.StatusOK, List())
+		case http.MethodDelete:
+			DisarmAll()
+			writeJSON(w, http.StatusOK, List())
+		default:
+			w.Header().Set("Allow", "GET, POST, DELETE")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,31 @@
+package fault
+
+import "github.com/why-not-xai/emigre/internal/obs"
+
+// RegisterMetrics exports the failpoint counters to reg:
+//
+//	emigre_fault_armed_sites              — sites currently armed
+//	emigre_fault_hits_total{site=...}     — Hit calls observed while armed
+//	emigre_fault_injections_total{site=...} — actions actually fired
+//
+// One series pair is created per site registered at call time; sites
+// register at package init of their host packages, so a server calling
+// this during startup sees the full catalog. The series exist from the
+// start (value 0), so a metrics scrape can assert their presence before
+// any fault fires.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("emigre_fault_armed_sites",
+		"Number of failpoint sites currently armed.", ArmedCount)
+	for _, s := range Sites() {
+		site := s
+		reg.CounterFunc("emigre_fault_hits_total",
+			"Failpoint Hit calls observed while the site was armed.",
+			site.Hits, obs.L("site", site.Name()))
+		reg.CounterFunc("emigre_fault_injections_total",
+			"Failpoint actions fired (errors, sleeps, panics injected).",
+			site.Injections, obs.L("site", site.Name()))
+	}
+}

@@ -2,7 +2,14 @@ package hin
 
 import (
 	"fmt"
+
+	"github.com/why-not-xai/emigre/internal/fault"
 )
+
+// overlaySite is the failpoint at the head of every counterfactual
+// overlay build — the CHECK step's snapshot seam. Arming it makes every
+// CHECK fail at construction time, before any PPR work runs.
+var overlaySite = fault.Register("hin.overlay.snapshot")
 
 type typedKey struct {
 	from, to NodeID
@@ -47,6 +54,9 @@ type Overlay struct {
 // existing typed edge (or another addition), and additions must carry a
 // positive finite weight. Self-loop additions are rejected.
 func NewOverlay(base View, removals, additions []Edge) (*Overlay, error) {
+	if err := overlaySite.Hit(nil); err != nil {
+		return nil, fmt.Errorf("hin: building overlay: %w", err)
+	}
 	o := &Overlay{
 		base:      base,
 		removed:   make(map[typedKey]float64, len(removals)),

@@ -105,6 +105,7 @@ func TestAnalyzers(t *testing.T) {
 	}{
 		{"ctxpoll", CtxPoll(), []string{"./ctxpoll", "./ctxpoll/emigre"}},
 		{"errcmp", ErrCmp(), []string{"./errcmp"}},
+		{"faultsite", FaultSite(), []string{"./faultsite", "./faultsite/sub"}},
 		{"floateq", FloatEq(), []string{"./floateq"}},
 		{"rawengine", RawEngine(), []string{"./rawengine/rec", "./rawengine/emigre"}},
 		{"versionbump", VersionBump(), []string{"./versionbump"}},

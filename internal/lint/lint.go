@@ -43,6 +43,7 @@ func Suite() []*Analyzer {
 	return []*Analyzer{
 		CtxPoll(),
 		ErrCmp(),
+		FaultSite(),
 		FloatEq(),
 		RawEngine(),
 		VersionBump(),

@@ -1,0 +1,10 @@
+// Package fault is a stub of the real failpoint registry: the analyzer
+// matches calls by package name and selector, so only the signature
+// matters.
+package fault
+
+// Site is a stub failpoint.
+type Site struct{ name string }
+
+// Register is the call the faultsite analyzer inspects.
+func Register(name string) *Site { return &Site{name: name} }

@@ -1,0 +1,23 @@
+// Package faultsite exercises the faultsite analyzer: Register calls
+// need unique string-literal names.
+package faultsite
+
+import "fixture.example/m/faultsite/fault"
+
+// Good: unique string literals.
+var okA = fault.Register("cache.fill")
+var okB = fault.Register("engine.loop")
+
+// Duplicate of okA's name.
+var dupA = fault.Register("cache.fill") // want "already registered"
+
+const derived = "engine." + "loop"
+
+// Non-literal arguments defeat grepping for the site catalog.
+var nonLit = fault.Register(derived) // want "must be a string literal"
+
+func buildName(s string) string { return s }
+
+var computed = fault.Register(buildName("x")) // want "must be a string literal"
+
+var empty = fault.Register("") // want "must not be empty"

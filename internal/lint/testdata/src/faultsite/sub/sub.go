@@ -1,0 +1,7 @@
+// Package sub collides with a site registered in the parent fixture
+// package: the duplicate check spans packages.
+package sub
+
+import "fixture.example/m/faultsite/fault"
+
+var crossDup = fault.Register("engine.loop") // want "already registered"

@@ -143,6 +143,9 @@ func (d *DynamicForwardPush) push(ctx context.Context) error {
 			if err := ctxErr(ctx); err != nil {
 				return err
 			}
+			if err := dynamicLoopSite.Hit(ctx); err != nil {
+				return err
+			}
 		}
 		steps++
 		v := queue[0]

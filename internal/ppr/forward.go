@@ -95,6 +95,9 @@ func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) 
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
+			if err := forwardLoopSite.Hit(ctx); err != nil {
+				return nil, err
+			}
 		}
 		steps++
 		v := queue[0]

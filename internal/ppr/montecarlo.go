@@ -68,6 +68,9 @@ func (e *MonteCarlo) FromSourceContext(ctx context.Context, g hin.View, s hin.No
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
+			if err := mcWalkSite.Hit(ctx); err != nil {
+				return nil, err
+			}
 		}
 		v := s
 		for {

@@ -52,6 +52,9 @@ func (e *Power) FromSourceContext(ctx context.Context, g hin.View, s hin.NodeID)
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
+		if err := powerSweepSite.Hit(ctx); err != nil {
+			return nil, err
+		}
 		for i := range next {
 			next[i] = 0
 		}
@@ -109,6 +112,9 @@ func (e *Power) ToTargetContext(ctx context.Context, g hin.View, t hin.NodeID) (
 	c[t] = alpha
 	for iter := 0; iter < e.Params.MaxIter; iter++ {
 		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		if err := powerSweepSite.Hit(ctx); err != nil {
 			return nil, err
 		}
 		for i := range next {

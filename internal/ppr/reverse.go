@@ -86,6 +86,9 @@ func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) 
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
+			if err := reverseLoopSite.Hit(ctx); err != nil {
+				return nil, err
+			}
 		}
 		steps++
 		v := queue[0]

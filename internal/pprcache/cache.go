@@ -4,11 +4,46 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/why-not-xai/emigre/internal/fault"
 	"github.com/why-not-xai/emigre/internal/ppr"
 )
+
+// fillSite is the failpoint at the head of every cache fill — the
+// singleflight leader's compute call. Arming it exercises the error
+// propagation of the flight machinery: every attached waiter must see
+// the injected error and the next caller must recompute fresh (no
+// poisoning).
+var fillSite = fault.Register("pprcache.fill")
+
+// ErrCacheOnlyMiss is returned by GetOrCompute for a cold miss under a
+// hit-only context (WithHitOnly): the caller asked to be answered from
+// warm state only, and the key is neither resident nor already being
+// computed. The server's degradation ladder uses this mode to trade
+// coverage for latency when a request's deadline budget runs low.
+var ErrCacheOnlyMiss = errors.New("pprcache: cold miss in hit-only mode")
+
+type hitOnlyKey struct{}
+
+// WithHitOnly marks ctx so cache lookups under it never lead a new
+// computation: resident entries and joins onto already-in-flight
+// computations are served normally, but a cold miss returns
+// ErrCacheOnlyMiss immediately instead of computing.
+func WithHitOnly(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hitOnlyKey{}, true)
+}
+
+// HitOnly reports whether ctx carries the WithHitOnly marker.
+func HitOnly(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	on, _ := ctx.Value(hitOnlyKey{}).(bool)
+	return on
+}
 
 // Defaults used when the corresponding Config field is zero.
 const (
@@ -56,6 +91,7 @@ type Cache struct {
 	collapsed atomic.Int64
 	evictions atomic.Int64
 	inflight  atomic.Int64
+	denied    atomic.Int64
 }
 
 type shard struct {
@@ -207,6 +243,14 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 			}
 			return vec, hit, err
 		}
+		// A hit-only caller never leads a computation: a cold miss is
+		// answered with ErrCacheOnlyMiss before any fill starts.
+		if HitOnly(ctx) {
+			sh.mu.Unlock()
+			c.denied.Add(1)
+			countRequest(ctx, false)
+			return nil, false, ErrCacheOnlyMiss
+		}
 		// Miss: this caller leads the computation. The compute context is
 		// detached from the leader's request (context.WithoutCancel keeps
 		// its values — tracing, request stats — but not its cancellation)
@@ -220,7 +264,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 		sh.mu.Unlock()
 		c.inflight.Add(1)
 		go func() {
-			vec, err := compute(fctx)
+			vec, err := runFill(fctx, compute)
 			sh.mu.Lock()
 			f.vec, f.err = vec, err
 			delete(sh.flights, k)
@@ -234,6 +278,24 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 		}()
 		return c.wait(ctx, sh, f)
 	}
+}
+
+// runFill executes one cache fill with the pprcache.fill failpoint at
+// its head and panic containment around the engine call: the fill runs
+// in its own goroutine, outside any HTTP middleware recovery, so a
+// panicking compute must resolve the flight with an error instead of
+// killing the process. Waiters observe the panic as an ordinary fill
+// error; nothing is inserted into the cache.
+func runFill(ctx context.Context, compute func(context.Context) (ppr.Vector, error)) (vec ppr.Vector, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			vec, err = nil, fmt.Errorf("pprcache: fill panicked: %v", p)
+		}
+	}()
+	if err := fillSite.Hit(ctx); err != nil {
+		return nil, err
+	}
+	return compute(ctx)
 }
 
 // wait blocks until the flight completes or ctx ends. The hit flag of
@@ -289,6 +351,7 @@ func (c *Cache) Stats() Stats {
 		Collapsed: c.collapsed.Load(),
 		Evictions: c.evictions.Load(),
 		Inflight:  c.inflight.Load(),
+		Denied:    c.denied.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

@@ -26,6 +26,8 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry) {
 		"Resident vectors evicted by the LRU budgets.", c.evictions.Load)
 	reg.GaugeFunc("emigre_pprcache_inflight_computations",
 		"Vector computations running right now.", c.inflight.Load)
+	reg.CounterFunc("emigre_pprcache_denied_fills_total",
+		"Cold misses refused under a hit-only context (degraded serving).", c.denied.Load)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		label := obs.L("shard", strconv.Itoa(i))

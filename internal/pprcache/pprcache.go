@@ -111,6 +111,9 @@ type Stats struct {
 	Bytes   int64 `json:"bytes"`
 	// Inflight is the number of computations currently running.
 	Inflight int64 `json:"inflight"`
+	// Denied counts cold misses refused under a hit-only context
+	// (WithHitOnly) — the degradation ladder's cache-only rung at work.
+	Denied int64 `json:"denied"`
 }
 
 // RequestStats accumulates per-request cache activity. Attach one to a

@@ -3,7 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"math"
+	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/why-not-xai/emigre/internal/obs"
 )
@@ -25,6 +28,13 @@ type admission struct {
 	maxQueue int
 	waiters  []*admissionWaiter
 
+	// holdPerUnit is an EWMA (1/8 gain) of the observed hold time per
+	// admitted unit, fed by ReleaseObserved. It is the basis of the
+	// load-aware Retry-After estimate: with the gate saturated, a
+	// rejected request can expect to wait roughly
+	// holdPerUnit × backlog / capacity before units free up.
+	holdPerUnit float64 // nanoseconds per unit; 0 until the first sample
+
 	// Optional saturation counters (obs metrics are nil-safe, so a
 	// controller built without a registry records nothing). rejections
 	// counts Acquire calls shed with ErrSaturated; clamped counts
@@ -34,6 +44,18 @@ type admission struct {
 	rejections *obs.Counter
 	clamped    *obs.Counter
 }
+
+// Retry-After bounds: never tell a client to come back sooner than 1s
+// (sub-second retries stampede) or later than 30s (the estimate is an
+// EWMA, not a promise).
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 30
+)
+
+// retryAfterJitter supplies the jitter draw for RetryAfterSeconds;
+// a variable so tests can pin it.
+var retryAfterJitter = rand.Float64
 
 type admissionWaiter struct {
 	n     int64
@@ -117,15 +139,59 @@ func (a *admission) Acquire(ctx context.Context, n int64) error {
 }
 
 // Release returns n units and wakes queued waiters that now fit.
-func (a *admission) Release(n int64) {
+func (a *admission) Release(n int64) { a.ReleaseObserved(n, 0) }
+
+// ReleaseObserved returns n units like Release and, when held > 0,
+// folds the observed hold time into the per-unit EWMA behind
+// RetryAfterSeconds.
+func (a *admission) ReleaseObserved(n int64, held time.Duration) {
 	n = a.clamp(n)
 	a.mu.Lock()
 	a.used -= n
 	if a.used < 0 {
 		a.used = 0 // defensive: a double release must not wedge the gate
 	}
+	if held > 0 {
+		sample := float64(held) / float64(n)
+		//lint:allow floateq zero is the exact "no samples yet" sentinel, never a computed value
+		if a.holdPerUnit == 0 {
+			a.holdPerUnit = sample
+		} else {
+			a.holdPerUnit += (sample - a.holdPerUnit) / 8
+		}
+	}
 	a.grantLocked()
 	a.mu.Unlock()
+}
+
+// RetryAfterSeconds estimates, from current load, how long a rejected
+// request should wait before retrying: the EWMA hold time per unit
+// times the backlog (admitted + queued units), spread over capacity,
+// with ±25% jitter so shed clients do not return in lockstep. The
+// result is clamped to [minRetryAfter, maxRetryAfter] seconds.
+func (a *admission) RetryAfterSeconds() int {
+	a.mu.Lock()
+	per := a.holdPerUnit
+	backlog := a.used
+	for _, w := range a.waiters {
+		backlog += w.n
+	}
+	capacity := a.capacity
+	a.mu.Unlock()
+	//lint:allow floateq zero is the exact "no samples yet" sentinel, never a computed value
+	if per == 0 {
+		per = float64(time.Second) // no samples yet: assume 1s per unit
+	}
+	wait := per * float64(backlog+1) / float64(capacity)
+	wait *= 0.75 + 0.5*retryAfterJitter()
+	secs := int(math.Ceil(wait / float64(time.Second)))
+	if secs < minRetryAfter {
+		secs = minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return secs
 }
 
 // Used returns the units currently admitted.

@@ -35,6 +35,7 @@ import (
 
 	emigre "github.com/why-not-xai/emigre"
 	"github.com/why-not-xai/emigre/internal/cli"
+	"github.com/why-not-xai/emigre/internal/fault"
 	"github.com/why-not-xai/emigre/internal/obs"
 )
 
@@ -89,6 +90,13 @@ type Config struct {
 	// 0 or 1 keeps searches sequential. Note the multiplicative load:
 	// up to MaxConcurrent × ExplainWorkers PPR runs can be in flight.
 	ExplainWorkers int
+	// DisableDegraded turns off the degradation ladder: a deadline-
+	// squeezed explanation then fails with 504 instead of stepping down
+	// through lean search, cache-only search and partial answers (see
+	// degrade.go). The ladder only engages for requests that carry a
+	// deadline, and a response produced within the full-fidelity time
+	// slice is byte-identical either way.
+	DisableDegraded bool
 	// Logger receives the per-request log lines and server warnings.
 	// Nil means log.Default().
 	Logger *log.Logger
@@ -102,9 +110,13 @@ type Config struct {
 
 // Server handles the HTTP API. Create with New, mount via Handler.
 type Server struct {
-	g       *emigre.Graph
-	r       *emigre.Recommender
-	ex      *emigre.Explainer
+	g  *emigre.Graph
+	r  *emigre.Recommender
+	ex *emigre.Explainer
+	// exLean is the degradation ladder's cheaper explainer: CHECK budget
+	// divided by leanBudgetDivisor, sequential evaluation, same shared
+	// cache. Nil when the ladder is disabled.
+	exLean  *emigre.Explainer
 	mux     *http.ServeMux
 	handler http.Handler
 	// adm gates the expensive counterfactual searches.
@@ -121,6 +133,10 @@ type Server struct {
 	// middleware's hot path never touches the registry lock.
 	metrics *obs.Registry
 	routes  map[string]*routeMetrics
+	// ladderEngaged counts full-fidelity attempts squeezed out by their
+	// time slice; degraded counts responses served per ladder level.
+	ladderEngaged *obs.Counter
+	degraded      map[degradeLevel]*obs.Counter
 }
 
 // New builds a server and eagerly warms the recommender's flat
@@ -186,6 +202,15 @@ func New(cfg Config) (*Server, error) {
 		log:      logger,
 		cache:    cache,
 		metrics:  metrics,
+	}
+	if !cfg.DisableDegraded {
+		// The lean explainer shares the graph, recommender and cache with
+		// the full one; only the search budget and parallelism shrink, so
+		// a lean hit is still a verified explanation.
+		leanOpts := s.ex.Options()
+		leanOpts.MaxTests = max(8, leanOpts.MaxTests/leanBudgetDivisor)
+		leanOpts.Parallelism = 1
+		s.exLean = emigre.NewExplainer(cfg.Graph, r, leanOpts)
 	}
 	s.registerMetrics()
 	s.r.Flat() // warm the shared snapshot before concurrency starts
@@ -284,6 +309,16 @@ func (s *Server) registerMetrics() {
 	reg.GaugeFunc("emigre_pipeline_workers",
 		"Configured per-request CHECK parallelism.",
 		func() int64 { return int64(s.ex.PipelineStats().Workers) })
+
+	s.ladderEngaged = reg.Counter("emigre_ladder_engaged_total",
+		"Explanations whose full-fidelity attempt was squeezed out by its time slice.")
+	s.degraded = make(map[degradeLevel]*obs.Counter, len(degradeLevels))
+	for _, level := range degradeLevels {
+		s.degraded[level] = reg.Counter("emigre_degraded_responses_total",
+			"Responses served below full fidelity, by ladder level.",
+			obs.L("level", level.String()))
+	}
+	fault.RegisterMetrics(reg)
 }
 
 // routeFor maps a request path to its metrics entry ("other" for paths
@@ -309,6 +344,13 @@ type errorBody struct {
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if err := writeSite.Hit(nil); err != nil {
+		// Simulated response-write failure. Rendered by hand — not
+		// through this function — so an armed site cannot recurse.
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// The status line is already on the wire; all we can do is make
@@ -349,6 +391,18 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
+	}
+	// A failpoint marking a core component unhealthy makes the probe
+	// fail, so orchestrators stop routing before request errors surface.
+	for _, c := range []struct {
+		site *fault.Site
+		name string
+	}{{healthCacheSite, "cache"}, {healthGraphSite, "graph"}} {
+		if c.site.Armed() {
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "unhealthy", "component": c.name})
+			return
+		}
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
@@ -449,6 +503,13 @@ type explainResponse struct {
 	Verified    bool          `json:"verified"`
 	Checks      int           `json:"checks"`
 	DurationUS  int64         `json:"duration_us"`
+	// Degraded marks a response served below full fidelity by the
+	// degradation ladder; DegradedLevel names the rung ("lean",
+	// "cache_only", "partial") and Partial flags an unverified
+	// best-effort answer from an interrupted search.
+	Degraded      bool   `json:"degraded"`
+	DegradedLevel string `json:"degraded_level,omitempty"`
+	Partial       bool   `json:"partial,omitempty"`
 }
 
 // searchContext applies the effective deadline for one explanation
@@ -467,23 +528,36 @@ func (s *Server) searchContext(r *http.Request, timeoutMS int) (context.Context,
 	return context.WithTimeout(r.Context(), d)
 }
 
+// saturatedBody is the 503 payload for shed requests: the retry hint
+// in the header is mirrored in the body so JSON-only clients see it.
+type saturatedBody struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
 // admit acquires cost units of search capacity, writing the 503 or
-// timeout response itself when admission fails. The caller must release
-// the returned cost when ok.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter, cost int64) bool {
+// timeout response itself when admission fails. On success the caller
+// must invoke the returned release func when the work is done; it
+// returns the units and feeds the observed hold time into the
+// controller's load estimate (the basis of Retry-After).
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, cost int64) (func(), bool) {
 	err := s.adm.Acquire(ctx, cost)
 	if err == nil {
-		return true
+		acquired := time.Now()
+		return func() { s.adm.ReleaseObserved(cost, time.Since(acquired)) }, true
 	}
 	if errors.Is(err, ErrSaturated) {
-		w.Header().Set("Retry-After", "1")
-		s.writeErr(w, http.StatusServiceUnavailable,
-			errors.New("server saturated: too many concurrent explanations; retry later"))
-		return false
+		secs := s.adm.RetryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.writeJSON(w, http.StatusServiceUnavailable, saturatedBody{
+			Error:             "server saturated: too many concurrent explanations; retry later",
+			RetryAfterSeconds: secs,
+		})
+		return nil, false
 	}
 	// Context expired while queued.
 	s.writeErr(w, statusFor(err), fmt.Errorf("timed out waiting for an explanation slot: %w", err))
-	return false
+	return nil, false
 }
 
 // explainCost estimates a request's admission weight: group and
@@ -501,6 +575,12 @@ func (s *Server) explainCost(req explainRequest) int64 {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	// Simulated server-side I/O failure reading the request: a 500, so
+	// resilient clients know the request itself was fine and retry.
+	if err := decodeSite.Hit(r.Context()); err != nil {
+		s.writeErr(w, http.StatusInternalServerError, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -522,45 +602,55 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := s.searchContext(r, req.TimeoutMS)
-	defer cancel()
-	cost := s.explainCost(req)
-	if !s.admit(ctx, w, cost) {
-		return
-	}
-	defer s.adm.Release(cost)
-
-	var expl *emigre.Explanation
+	// Resolve the question's nodes up front so node errors stay 400s and
+	// the ladder never retries a malformed question.
+	var run explainFn
 	switch {
 	case req.Category != "":
-		var cat emigre.NodeID
-		cat, err = cli.ResolveNode(s.g, req.Category)
-		if err == nil {
-			expl, err = s.ex.ExplainCategoryContext(ctx, user, cat, 0, mode, method)
+		cat, rerr := cli.ResolveNode(s.g, req.Category)
+		if rerr != nil {
+			s.writeErr(w, http.StatusBadRequest, rerr)
+			return
+		}
+		run = func(ctx context.Context, ex *emigre.Explainer) (*emigre.Explanation, error) {
+			return ex.ExplainCategoryContext(ctx, user, cat, 0, mode, method)
 		}
 	case len(req.Items) > 0:
 		var items []emigre.NodeID
 		for _, raw := range req.Items {
-			var id emigre.NodeID
-			id, err = cli.ResolveNode(s.g, raw)
-			if err != nil {
-				break
+			id, rerr := cli.ResolveNode(s.g, raw)
+			if rerr != nil {
+				s.writeErr(w, http.StatusBadRequest, rerr)
+				return
 			}
 			items = append(items, id)
 		}
-		if err == nil {
-			expl, err = s.ex.ExplainGroupContext(ctx, emigre.GroupQuery{User: user, Items: items}, mode, method)
+		run = func(ctx context.Context, ex *emigre.Explainer) (*emigre.Explanation, error) {
+			return ex.ExplainGroupContext(ctx, emigre.GroupQuery{User: user, Items: items}, mode, method)
 		}
 	case req.WNI != "":
-		var wni emigre.NodeID
-		wni, err = cli.ResolveNode(s.g, req.WNI)
-		if err == nil {
-			expl, err = s.ex.ExplainWithContext(ctx, emigre.Query{User: user, WNI: wni}, mode, method)
+		wni, rerr := cli.ResolveNode(s.g, req.WNI)
+		if rerr != nil {
+			s.writeErr(w, http.StatusBadRequest, rerr)
+			return
+		}
+		run = func(ctx context.Context, ex *emigre.Explainer) (*emigre.Explanation, error) {
+			return ex.ExplainWithContext(ctx, emigre.Query{User: user, WNI: wni}, mode, method)
 		}
 	default:
 		s.writeErr(w, http.StatusBadRequest, errors.New("one of wni, items or category is required"))
 		return
 	}
+
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.admit(ctx, w, s.explainCost(req))
+	if !ok {
+		return
+	}
+	defer release()
+
+	expl, level, err := s.runExplain(ctx, run)
 	if err != nil {
 		status := statusFor(err)
 		if errors.Is(err, cli.ErrNoSuchNode) {
@@ -577,15 +667,26 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	recordTests(r.Context(), expl.Stats.Tests)
 
+	desc := expl.Describe(s.g)
+	if expl.Partial {
+		desc += " (unverified partial explanation: the search was interrupted before CHECK confirmed it)"
+	}
 	resp := explainResponse{
 		Mode:        expl.Mode.String(),
 		Method:      expl.Method.String(),
-		Description: expl.Describe(s.g),
+		Description: desc,
 		OldTop:      expl.OldTop,
 		NewTop:      expl.NewTop,
 		Verified:    expl.Verified,
 		Checks:      expl.Stats.Tests,
 		DurationUS:  expl.Stats.Duration.Microseconds(),
+	}
+	if level > degradeNone {
+		resp.Degraded = true
+		resp.DegradedLevel = level.String()
+		resp.Partial = expl.Partial
+		w.Header().Set("X-Emigre-Degraded", level.String())
+		s.degraded[level].Inc()
 	}
 	appendEdges := func(edges []emigre.Edge, op string) {
 		for _, e := range edges {
@@ -638,10 +739,11 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	// A diagnosis probes every mode with Exhaustive, comparable to a
 	// small group query.
 	const diagnoseCost = 2
-	if !s.admit(ctx, w, diagnoseCost) {
+	release, ok := s.admit(ctx, w, diagnoseCost)
+	if !ok {
 		return
 	}
-	defer s.adm.Release(diagnoseCost)
+	defer release()
 	d, err := s.ex.DiagnoseContext(ctx, emigre.Query{User: user, WNI: wni}, mode)
 	if err != nil {
 		var ce *emigre.CanceledError
