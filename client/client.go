@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -186,6 +187,9 @@ type ExplainResponse struct {
 	Degraded      bool   `json:"degraded"`
 	DegradedLevel string `json:"degraded_level,omitempty"`
 	Partial       bool   `json:"partial,omitempty"`
+	// Meta carries wire metadata (correlation ID, cache/par tallies,
+	// attempt count); it is not part of the JSON payload.
+	Meta Meta `json:"-"`
 }
 
 // ScoredItem is one entry of a recommendation list.
@@ -199,6 +203,8 @@ type ScoredItem struct {
 type RecommendResponse struct {
 	User  int64        `json:"user"`
 	Items []ScoredItem `json:"items"`
+	// Meta carries wire metadata; not part of the JSON payload.
+	Meta Meta `json:"-"`
 }
 
 // DiagnoseRequest asks why a Why-Not question is unanswerable.
@@ -211,10 +217,13 @@ type DiagnoseRequest struct {
 
 // DiagnoseResponse is the /diagnose payload.
 type DiagnoseResponse struct {
-	Kind        string   `json:"kind"`
-	Detail      string   `json:"detail"`
-	Actions     []string `json:"actions"`
-	WorkingMode string   `json:"working_mode"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	// Actions is the number of past user actions Remove mode can edit.
+	Actions     int    `json:"actions"`
+	WorkingMode string `json:"working_mode"`
+	// Meta carries wire metadata; not part of the JSON payload.
+	Meta Meta `json:"-"`
 }
 
 // Explain asks one Why-Not question, retrying transient failures.
@@ -222,7 +231,7 @@ func (c *Client) Explain(ctx context.Context, req ExplainRequest) (*ExplainRespo
 	var out ExplainResponse
 	// Pure read: no server state changes, so retrying is safe even
 	// after an ambiguous transport failure.
-	if err := c.do(ctx, http.MethodPost, "/explain", nil, req, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/explain", nil, req, &out, true, &out.Meta); err != nil {
 		return nil, err
 	}
 	if out.Degraded {
@@ -238,7 +247,7 @@ func (c *Client) Recommend(ctx context.Context, user string, n int) (*RecommendR
 		q.Set("n", fmt.Sprint(n))
 	}
 	var out RecommendResponse
-	if err := c.do(ctx, http.MethodGet, "/recommend", q, nil, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/recommend", q, nil, &out, true, &out.Meta); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -248,7 +257,7 @@ func (c *Client) Recommend(ctx context.Context, user string, n int) (*RecommendR
 // question.
 func (c *Client) Diagnose(ctx context.Context, req DiagnoseRequest) (*DiagnoseResponse, error) {
 	var out DiagnoseResponse
-	if err := c.do(ctx, http.MethodPost, "/diagnose", nil, req, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/diagnose", nil, req, &out, true, &out.Meta); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -259,13 +268,16 @@ func (c *Client) Ready(ctx context.Context) error {
 	var out struct {
 		Status string `json:"status"`
 	}
-	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, &out, true)
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, &out, true, nil)
 }
 
 // do runs one logical API call: marshal, attempt, classify, back off,
 // repeat. body (when non-nil) is marshalled once and replayed per
-// attempt; out (when non-nil) receives the decoded 2xx payload.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, idempotent bool) error {
+// attempt; out (when non-nil) receives the decoded 2xx payload; meta
+// (when non-nil) receives the call's correlation ID, attempt count and
+// server tally headers. Every attempt of the call carries the same
+// X-Emigre-Request-Id so server-side captures can group retries.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, idempotent bool, meta *Meta) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -276,6 +288,10 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
+	}
+	rid := requestID(ctx)
+	if meta != nil {
+		meta.RequestID = rid
 	}
 
 	var lastErr error
@@ -289,8 +305,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			c.retries.Add(1)
 		}
 		c.attempts.Add(1)
+		if meta != nil {
+			meta.Attempts = attempt + 1
+		}
 
-		err := c.attempt(ctx, method, u, payload, out, attempt)
+		err := c.attempt(ctx, method, u, rid, payload, out, meta, attempt)
 		if err == nil {
 			return nil
 		}
@@ -304,7 +323,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 
 // attempt runs one HTTP round trip under the derived per-attempt
 // deadline and maps non-2xx statuses to *APIError.
-func (c *Client) attempt(ctx context.Context, method, u string, payload []byte, out any, attempt int) error {
+func (c *Client) attempt(ctx context.Context, method, u, rid string, payload []byte, out any, meta *Meta, attempt int) error {
 	actx, cancel := c.attemptContext(ctx, attempt)
 	defer cancel()
 	var rd io.Reader
@@ -318,6 +337,8 @@ func (c *Client) attempt(ctx context.Context, method, u string, payload []byte, 
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(RequestIDHeader, rid)
+	req.Header.Set(AttemptHeader, strconv.Itoa(attempt+1))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Prefer the caller's context error over the derived attempt
@@ -336,6 +357,9 @@ func (c *Client) attempt(ctx context.Context, method, u string, payload []byte, 
 		}
 		return &transportError{err: fmt.Errorf("reading response: %w", err)}
 	}
+	// Fill meta from whatever response arrived — failed calls still
+	// carry the echoed correlation ID for session logs.
+	meta.fill(resp.Header)
 	if resp.StatusCode/100 != 2 {
 		return newAPIError(resp, raw)
 	}

@@ -1,0 +1,102 @@
+// Command emigre-benchdiff diffs a fresh benchmark or load-test run
+// against a committed baseline and fails (exit 1) on regression beyond
+// explicit noise bounds.
+//
+// Both inputs normalize through internal/load/benchfmt, so any of the
+// three shapes work on either side: the emigre/benchfmt/v1 schema
+// (what emigre-loadgen -bench writes), the repo's legacy BENCH_*.json
+// shape, or raw `go test -bench` text:
+//
+//	go test -bench . -benchmem -run - ./internal/ppr/ > fresh.txt
+//	emigre-benchdiff -baseline BENCH_ppr.json -current fresh.txt \
+//	    -tolerance 4.0 -metric-tolerance allocs/op=0.01
+//
+// Tolerances are relative moves in the bad direction: 4.0 allows a 4x
+// slowdown (wide, because wall-clock metrics depend on machine speed),
+// while allocs/op=0.01 is effectively exact (allocation counts are
+// machine-independent). Improvements never fail the diff. Direction is
+// per metric: qps/throughput-style metrics regress downward, everything
+// else regresses upward.
+//
+// Exit status: 0 no regressions, 1 regressions found, 2 usage or read
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/why-not-xai/emigre/internal/load/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emigre-benchdiff: ")
+	var (
+		basePath  = flag.String("baseline", "", "baseline file (required; benchfmt JSON, legacy BENCH_*.json, or go-bench text)")
+		curPath   = flag.String("current", "-", "current run file (- = stdin)")
+		tolerance = flag.Float64("tolerance", 0.5, "default relative noise bound (0.5 = 50% worse allowed)")
+		perMetric = flag.String("metric-tolerance", "", "per-metric overrides, name=bound,... (e.g. allocs/op=0.01,ns/op=4.0)")
+		strict    = flag.Bool("strict", false, "baseline results missing from the current run are regressions, not warnings")
+		quiet     = flag.Bool("quiet", false, "print only the verdict line")
+	)
+	flag.Parse()
+	if *basePath == "" || flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tol := benchfmt.Tolerances{Default: *tolerance, Strict: *strict}
+	if strings.TrimSpace(*perMetric) != "" {
+		tol.PerMetric = map[string]float64{}
+		for _, part := range strings.Split(*perMetric, ",") {
+			name, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				log.Fatalf("-metric-tolerance: bad entry %q (want name=bound)", part)
+			}
+			bound, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				log.Fatalf("-metric-tolerance: bad bound in %q: %v", part, err)
+			}
+			tol.PerMetric[strings.TrimSpace(name)] = bound
+		}
+	}
+
+	baseline := readFile(*basePath)
+	current := readFile(*curPath)
+
+	rep := benchfmt.Diff(baseline, current, tol)
+	if !*quiet {
+		fmt.Print(rep.Render())
+	}
+	if !rep.OK() {
+		fmt.Printf("FAIL: %d regression(s) vs %s\n", rep.Regressions, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: no regressions vs %s\n", *basePath)
+}
+
+func readFile(path string) *benchfmt.File {
+	var (
+		raw []byte
+		err error
+	)
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		log.Fatalf("reading %s: %v", path, err)
+	}
+	f, err := benchfmt.Read(raw)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return f
+}

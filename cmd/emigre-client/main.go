@@ -100,9 +100,7 @@ func runOne(ctx context.Context, c *client.Client, op, user, wni, items, categor
 			return err
 		}
 		fmt.Printf("%s: %s\n", out.Kind, out.Detail)
-		for _, a := range out.Actions {
-			fmt.Printf("  - %s\n", a)
-		}
+		fmt.Printf("  actions available: %d (working mode: %s)\n", out.Actions, out.WorkingMode)
 		return nil
 	case "explain":
 		req := client.ExplainRequest{User: user, WNI: wni, Category: category, Mode: mode, Method: method, TimeoutMS: budgetMS}

@@ -50,14 +50,16 @@ func main() {
 	if err := obs.ValidateExposition(raw); err != nil {
 		log.Fatal(err)
 	}
-
+	// The structural parse complements the validator: it groups samples
+	// into families (histogram series under their base name included),
+	// so required-family checks don't re-scan raw text.
+	exp, err := obs.ParseExposition(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
 	families := make(map[string]bool)
-	for _, line := range strings.Split(string(raw), "\n") {
-		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
-			if name, _, found := strings.Cut(rest, " "); found {
-				families[name] = true
-			}
-		}
+	for _, name := range exp.FamilyNames() {
+		families[name] = true
 	}
 	var missing []string
 	for _, want := range strings.Split(*require, ",") {

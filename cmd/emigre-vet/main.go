@@ -1,11 +1,12 @@
 // Command emigre-vet runs the repository's custom static-analysis
-// suite (internal/lint) over the module: six stdlib-only analyzers
+// suite (internal/lint) over the module: seven stdlib-only analyzers
 // enforcing the invariants the code relies on for correctness —
 // cancellation polling in unbounded search loops (ctxpoll), version
 // bumps on graph mutation (versionbump), fmath-routed float
 // comparisons (floateq), cache-routed PPR engine calls (rawengine),
-// errors.Is for sentinel errors (errcmp) and unique string-literal
-// failpoint names (faultsite).
+// errors.Is for sentinel errors (errcmp), unique string-literal
+// failpoint names (faultsite) and unique string-literal metric family
+// names (metricname).
 //
 // Usage:
 //

@@ -107,6 +107,7 @@ func TestAnalyzers(t *testing.T) {
 		{"errcmp", ErrCmp(), []string{"./errcmp"}},
 		{"faultsite", FaultSite(), []string{"./faultsite", "./faultsite/sub"}},
 		{"floateq", FloatEq(), []string{"./floateq"}},
+		{"metricname", MetricName(), []string{"./metricname", "./metricname/sub"}},
 		{"rawengine", RawEngine(), []string{"./rawengine/rec", "./rawengine/emigre"}},
 		{"versionbump", VersionBump(), []string{"./versionbump"}},
 	}

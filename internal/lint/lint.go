@@ -45,6 +45,7 @@ func Suite() []*Analyzer {
 		ErrCmp(),
 		FaultSite(),
 		FloatEq(),
+		MetricName(),
 		RawEngine(),
 		VersionBump(),
 	}

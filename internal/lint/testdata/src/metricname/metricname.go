@@ -1,0 +1,55 @@
+// Package metricname exercises the metricname analyzer: obs registry
+// constructors need unique string-literal family names.
+package metricname
+
+import "fixture.example/m/metricname/obs"
+
+// Good: unique literals, one per family.
+var okRuns = obs.Default().Counter("emigre_runs_total", "Runs.")
+var okDepth = obs.Default().Gauge("emigre_queue_depth", "Depth.")
+
+func init() {
+	obs.Default().GaugeFunc("emigre_workers", "Workers.", func() int64 { return 1 })
+}
+
+// Good: per-label variants of one family through ONE call site.
+func runsCounter(engine string) *obs.Counter {
+	return obs.Default().Counter("emigre_engine_runs_total", "Runs by engine.",
+		obs.L("engine", engine))
+}
+
+var byEngine = []*obs.Counter{
+	runsCounter("forward"),
+	runsCounter("reverse"),
+}
+
+// One literal inside a loop is still one call site.
+var codes = func() map[int]*obs.Counter {
+	m := map[int]*obs.Counter{}
+	for _, c := range []int{200, 500, 503} {
+		m[c] = obs.Default().Counter("emigre_codes_total", "By code.", obs.L("code", "x"))
+	}
+	return m
+}()
+
+// Duplicate of okRuns's family at a second call site.
+var dupRuns = obs.Default().Counter("emigre_runs_total", "Runs.") // want "already minted"
+
+const derived = "emigre_" + "derived_total"
+
+// Non-literal names defeat grepping for the catalog.
+var nonLit = obs.Default().Counter(derived, "Derived.") // want "must be a string literal"
+
+func buildName(s string) string { return s }
+
+var computed = obs.Default().Gauge(buildName("x"), "Computed.") // want "must be a string literal"
+
+var empty = obs.Default().Counter("", "Empty.") // want "must not be empty"
+
+// notObs has look-alike methods on a non-obs type: not flagged.
+type notObs struct{}
+
+func (notObs) Counter(name, help string) int { return 0 }
+
+var unrelatedA = notObs{}.Counter("emigre_runs_total", "shadow")
+var unrelatedB = notObs{}.Counter("emigre_runs_total", "shadow again")

@@ -1,0 +1,7 @@
+// Package sub collides with a family minted in the parent fixture
+// package: the duplicate check spans packages.
+package sub
+
+import "fixture.example/m/metricname/obs"
+
+var crossDup = obs.Default().Gauge("emigre_queue_depth", "Depth.") // want "already minted"

@@ -1,0 +1,205 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNormalizeCommittedBaselines reads every committed BENCH_*.json at
+// the repo root through Read — the legacy shapes must all normalize.
+func TestNormalizeCommittedBaselines(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("expected >=4 committed BENCH files, found %d: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Read(b)
+		if err != nil {
+			t.Errorf("Read(%s): %v", filepath.Base(p), err)
+			continue
+		}
+		if f.Schema != Schema {
+			t.Errorf("%s: schema %q", p, f.Schema)
+		}
+		if len(f.Results) == 0 {
+			t.Errorf("%s: no results", p)
+		}
+		for _, r := range f.Results {
+			if _, ok := r.Metrics["ns/op"]; !ok {
+				t.Errorf("%s: result %s missing ns/op", filepath.Base(p), r.Name)
+			}
+		}
+	}
+}
+
+func TestReadNormalizedRoundTrip(t *testing.T) {
+	f := &File{
+		Description: "test",
+		GOOS:        "linux",
+		Results: []Result{
+			{Name: "loadgen/explain", Iterations: 100,
+				Metrics: map[string]float64{"p99_us": 1500, "qps": 200.5}},
+		},
+	}
+	b, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != "test" || got.GOOS != "linux" {
+		t.Errorf("provenance lost: %+v", got)
+	}
+	r := got.Result("loadgen/explain")
+	if r == nil || r.Metrics["p99_us"] != 1500 || r.Metrics["qps"] != 200.5 {
+		t.Errorf("metrics lost: %+v", r)
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"{}",
+		`{"schema":"emigre/benchfmt/v99","results":[]}`,
+		`{"schema":"emigre/benchfmt/v1","results":[{"name":"a","metrics":{}}]}`,
+		`{"schema":"emigre/benchfmt/v1","results":[{"name":"a","metrics":{"x":1}},{"name":"a","metrics":{"x":2}}]}`,
+		"PASS\nok github.com/x 1.2s\n",
+	}
+	for _, in := range cases {
+		if _, err := Read([]byte(in)); err == nil {
+			t.Errorf("Read(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExplain/powerset-8   	     100	  46445021 ns/op	16350286 B/op	  171686 allocs/op
+BenchmarkHit-16    	100000000	         0.76 ns/op
+PASS
+ok  	github.com/why-not-xai/emigre/internal/emigre	9.8s
+`
+	f, err := ParseGoBench(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("provenance: %+v", f)
+	}
+	r := f.Result("BenchmarkExplain/powerset")
+	if r == nil {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", f.Results)
+	}
+	if r.Iterations != 100 || r.Metrics["ns/op"] != 46445021 ||
+		r.Metrics["B/op"] != 16350286 || r.Metrics["allocs/op"] != 171686 {
+		t.Errorf("wrong parse: %+v", r)
+	}
+	if h := f.Result("BenchmarkHit"); h == nil || h.Metrics["ns/op"] != 0.76 {
+		t.Errorf("sub-ns parse: %+v", h)
+	}
+}
+
+func file(results ...Result) *File { return &File{Schema: Schema, Results: results} }
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Metrics: metrics}
+}
+
+func TestDiffDirections(t *testing.T) {
+	base := file(
+		res("a", map[string]float64{"ns/op": 100, "allocs/op": 10, "qps": 50}),
+	)
+	tol := Tolerances{Default: 0.25}
+
+	// Within bounds both ways.
+	cur := file(res("a", map[string]float64{"ns/op": 110, "allocs/op": 10, "qps": 45}))
+	if rep := Diff(base, cur, tol); !rep.OK() {
+		t.Errorf("within-bounds diff failed:\n%s", rep.Render())
+	}
+
+	// ns/op regression (lower is better).
+	cur = file(res("a", map[string]float64{"ns/op": 200, "allocs/op": 10, "qps": 50}))
+	rep := Diff(base, cur, tol)
+	if rep.OK() || rep.Regressions != 1 || rep.Deltas[0].Metric != "ns/op" {
+		t.Errorf("ns/op regression not caught:\n%s", rep.Render())
+	}
+
+	// qps regression (higher is better): dropping qps must fail, large
+	// ns/op improvements must not.
+	cur = file(res("a", map[string]float64{"ns/op": 10, "allocs/op": 10, "qps": 20}))
+	rep = Diff(base, cur, tol)
+	if rep.Regressions != 1 || rep.Deltas[0].Metric != "qps" {
+		t.Errorf("qps drop not caught:\n%s", rep.Render())
+	}
+
+	// qps gain is an improvement, not a regression.
+	cur = file(res("a", map[string]float64{"ns/op": 100, "allocs/op": 10, "qps": 500}))
+	if rep := Diff(base, cur, tol); !rep.OK() {
+		t.Errorf("qps gain flagged:\n%s", rep.Render())
+	}
+}
+
+func TestDiffPerMetricTolerance(t *testing.T) {
+	base := file(res("a", map[string]float64{"ns/op": 100, "allocs/op": 10}))
+	cur := file(res("a", map[string]float64{"ns/op": 300, "allocs/op": 11}))
+	tol := Tolerances{
+		Default:   0.05,
+		PerMetric: map[string]float64{"ns/op": 4.0, "allocs/op": 0.2},
+	}
+	rep := Diff(base, cur, tol)
+	// ns/op tripled but the wide bound absorbs it; allocs within 20%.
+	if !rep.OK() {
+		t.Errorf("per-metric bounds not applied:\n%s", rep.Render())
+	}
+	cur = file(res("a", map[string]float64{"ns/op": 100, "allocs/op": 20}))
+	rep = Diff(base, cur, tol)
+	if rep.Regressions != 1 || rep.Deltas[0].Metric != "allocs/op" {
+		t.Errorf("allocs regression not caught:\n%s", rep.Render())
+	}
+}
+
+func TestDiffMissingAndAdded(t *testing.T) {
+	base := file(
+		res("gone", map[string]float64{"ns/op": 1}),
+		res("kept", map[string]float64{"ns/op": 1}),
+	)
+	cur := file(
+		res("kept", map[string]float64{"ns/op": 1}),
+		res("new", map[string]float64{"ns/op": 1}),
+	)
+	rep := Diff(base, cur, Tolerances{Default: 0.1})
+	if !rep.OK() {
+		t.Errorf("missing result failed non-strict diff:\n%s", rep.Render())
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "gone" ||
+		len(rep.Added) != 1 || rep.Added[0] != "new" {
+		t.Errorf("missing/added wrong: %v / %v", rep.Missing, rep.Added)
+	}
+	rep = Diff(base, cur, Tolerances{Default: 0.1, Strict: true})
+	if rep.OK() || rep.Regressions != 1 {
+		t.Errorf("strict mode did not fail on missing result:\n%s", rep.Render())
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := file(res("a", map[string]float64{"allocs/op": 0, "qps": 0}))
+	cur := file(res("a", map[string]float64{"allocs/op": 5, "qps": 100}))
+	rep := Diff(base, cur, Tolerances{Default: 0.5})
+	// allocs growth from zero regresses; qps growth from zero is skipped.
+	if rep.Regressions != 1 || len(rep.Deltas) != 1 || rep.Deltas[0].Metric != "allocs/op" {
+		t.Errorf("zero-baseline handling:\n%s", rep.Render())
+	}
+}

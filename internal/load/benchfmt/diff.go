@@ -1,0 +1,187 @@
+package benchfmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tolerances bounds how much a metric may move before Diff calls it a
+// regression. Bounds are relative: 0.25 allows a 25% move in the bad
+// direction. Improvements never fail a diff.
+type Tolerances struct {
+	// Default applies to any metric without a per-metric entry.
+	Default float64
+	// PerMetric overrides Default for specific metric names — e.g. wide
+	// bounds for ns/op (machine-speed dependent) but tight bounds for
+	// allocs/op (deterministic given the same code).
+	PerMetric map[string]float64
+	// Strict turns results present in the baseline but missing from the
+	// current run into regressions instead of warnings.
+	Strict bool
+}
+
+// bound returns the tolerance for metric.
+func (t Tolerances) bound(metric string) float64 {
+	if v, ok := t.PerMetric[metric]; ok {
+		return v
+	}
+	return t.Default
+}
+
+// higherBetter reports whether larger values of the metric are an
+// improvement. Latency-ish units (the go-bench defaults and the
+// loadgen *_us percentiles) default to lower-is-better.
+func higherBetter(metric string) bool {
+	switch metric {
+	case "qps", "throughput", "ops/s", "hits":
+		return true
+	}
+	return false
+}
+
+// Delta is one metric's movement between baseline and current.
+type Delta struct {
+	Result   string
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Rel is the relative change in the "bad" direction: positive means
+	// worse (slower, bigger, more errors), negative means better.
+	Rel float64
+	// Bound is the tolerance the delta was judged against.
+	Bound float64
+	// Regression is true when Rel exceeds Bound.
+	Regression bool
+}
+
+func (d Delta) String() string {
+	verdict := "ok"
+	if d.Regression {
+		verdict = "REGRESSION"
+	}
+	return fmt.Sprintf("%s %s: %g -> %g (%+.1f%%, bound %.0f%%) %s",
+		d.Result, d.Metric, d.Baseline, d.Current, 100*d.Rel, 100*d.Bound, verdict)
+}
+
+// Report is the outcome of diffing a current run against a baseline.
+type Report struct {
+	Deltas []Delta
+	// Missing lists baseline results absent from the current run;
+	// Added lists current results absent from the baseline. Both are
+	// informational unless Tolerances.Strict.
+	Missing []string
+	Added   []string
+	// Regressions counts deltas beyond bounds (plus Missing when
+	// strict).
+	Regressions int
+}
+
+// OK reports whether the diff passed.
+func (r *Report) OK() bool { return r.Regressions == 0 }
+
+// Render writes the report as human-readable text, regressions first.
+func (r *Report) Render() string {
+	var b strings.Builder
+	for _, d := range r.Deltas {
+		if d.Regression {
+			fmt.Fprintf(&b, "FAIL %s\n", d)
+		}
+	}
+	for _, d := range r.Deltas {
+		if !d.Regression {
+			fmt.Fprintf(&b, "  ok %s\n", d)
+		}
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(&b, "miss %s: in baseline but not in current run\n", name)
+	}
+	for _, name := range r.Added {
+		fmt.Fprintf(&b, " new %s: in current run but not in baseline\n", name)
+	}
+	fmt.Fprintf(&b, "%d regression(s) across %d compared metric(s)\n", r.Regressions, len(r.Deltas))
+	return b.String()
+}
+
+// Diff compares current against baseline. Only (result, metric) pairs
+// present on both sides produce deltas; a baseline metric value of 0
+// with a nonzero current value counts as a regression for
+// lower-is-better metrics (any growth from zero is unbounded
+// relatively), and is skipped for higher-is-better ones.
+func Diff(baseline, current *File, tol Tolerances) *Report {
+	rep := &Report{}
+	curNames := map[string]bool{}
+	for _, r := range current.Results {
+		curNames[r.Name] = true
+	}
+	for _, base := range baseline.Results {
+		cur := current.Result(base.Name)
+		if cur == nil {
+			rep.Missing = append(rep.Missing, base.Name)
+			continue
+		}
+		metrics := make([]string, 0, len(base.Metrics))
+		for m := range base.Metrics {
+			if _, ok := cur.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			d := delta(base.Name, m, base.Metrics[m], cur.Metrics[m], tol)
+			if d == nil {
+				continue
+			}
+			if d.Regression {
+				rep.Regressions++
+			}
+			rep.Deltas = append(rep.Deltas, *d)
+		}
+		curNames[base.Name] = false
+	}
+	for _, r := range current.Results {
+		if curNames[r.Name] {
+			rep.Added = append(rep.Added, r.Name)
+		}
+	}
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	if tol.Strict {
+		rep.Regressions += len(rep.Missing)
+	}
+	// Regressions first, then by (result, metric), for stable output.
+	sort.SliceStable(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Regression != rep.Deltas[j].Regression {
+			return rep.Deltas[i].Regression
+		}
+		if rep.Deltas[i].Result != rep.Deltas[j].Result {
+			return rep.Deltas[i].Result < rep.Deltas[j].Result
+		}
+		return rep.Deltas[i].Metric < rep.Deltas[j].Metric
+	})
+	return rep
+}
+
+func delta(result, metric string, base, cur float64, tol Tolerances) *Delta {
+	d := &Delta{Result: result, Metric: metric, Baseline: base, Current: cur, Bound: tol.bound(metric)}
+	//lint:allow floateq exact-zero baseline sentinel, not a tolerance comparison
+	if base == 0 {
+		//lint:allow floateq exact-zero current-value sentinel
+		if cur == 0 {
+			d.Rel = 0
+		} else if higherBetter(metric) {
+			return nil // growth from zero in the good direction: unjudgeable, skip
+		} else {
+			d.Rel = 1e9 // any growth from a zero baseline is unbounded relatively
+			d.Regression = d.Rel > d.Bound
+		}
+		return d
+	}
+	rel := (cur - base) / base
+	if higherBetter(metric) {
+		rel = -rel
+	}
+	d.Rel = rel
+	d.Regression = rel > d.Bound
+	return d
+}

@@ -1,0 +1,39 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/why-not-xai/emigre/internal/obs"
+)
+
+// Scrape fetches and parses a Prometheus text exposition from url
+// (the server's GET /metrics). The parse is strict — a scrape that
+// fails obs.ParseExposition is a bug worth failing a load test over.
+func Scrape(ctx context.Context, url string) (*obs.Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: building scrape request: %w", err)
+	}
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("load: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: scraping %s: status %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("load: reading scrape body: %w", err)
+	}
+	e, err := obs.ParseExposition(raw)
+	if err != nil {
+		return nil, fmt.Errorf("load: parsing %s exposition: %w", url, err)
+	}
+	return e, nil
+}

@@ -1,0 +1,275 @@
+// Package load is the traffic capture/replay substrate behind
+// cmd/emigre-loadgen: a seeded workload model that synthesizes
+// million-user-shaped request streams (Zipfian user and Why-Not-item
+// popularity, weighted op/mode/method mixes, Poisson or closed-loop
+// arrivals), a versioned JSONL session log of request/response pairs
+// recorded during live runs and replayable at recorded or scaled rate
+// through the public client package, and a reporter that folds
+// per-request observations together with before/after /metrics scrapes
+// into a latency/SLO report.
+//
+// Everything downstream of the seed is deterministic: the same seed and
+// config produce a byte-identical request stream, and a replayed
+// session re-sends the recorded logical request IDs so server-side
+// captures line up across runs.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Ops the workload model can synthesize (the client calls they map to).
+const (
+	OpExplain   = "explain"
+	OpRecommend = "recommend"
+	OpDiagnose  = "diagnose"
+)
+
+// Arrival processes.
+const (
+	// ArrivalPoisson spaces requests with exponential inter-arrival
+	// gaps at Config.Rate requests/second (an open-loop model: arrivals
+	// do not wait for responses, like independent users).
+	ArrivalPoisson = "poisson"
+	// ArrivalClosed issues requests from a fixed worker pool, each
+	// sending its next request as soon as the previous answer returns
+	// (a closed-loop model: offered load adapts to server speed).
+	ArrivalClosed = "closed"
+)
+
+// Config parameterizes one synthesized workload.
+type Config struct {
+	// Seed drives every random draw. Same seed + same config =
+	// byte-identical request stream.
+	Seed int64
+	// Count is the number of requests to generate.
+	Count int
+	// Users and Items are the candidate user and Why-Not-item labels.
+	// Popularity over each is Zipfian (most traffic concentrates on the
+	// first entries) under the corresponding skew.
+	Users []string
+	Items []string
+	// UserSkew and ItemSkew are Zipf s parameters: 0 draws uniformly,
+	// values > 1 concentrate mass on early entries (higher = heavier
+	// head). Values in (0, 1] are invalid (math/rand's Zipf needs s>1).
+	UserSkew float64
+	ItemSkew float64
+	// OpMix, ModeMix and MethodMix weight the op / explanation mode /
+	// search method draws. Empty maps mean all-explain, all-remove,
+	// all-powerset. Weights need not sum to 1.
+	OpMix     map[string]float64
+	ModeMix   map[string]float64
+	MethodMix map[string]float64
+	// Arrival is ArrivalPoisson (default) or ArrivalClosed.
+	Arrival string
+	// Rate is the Poisson arrival rate in requests/second. Ignored for
+	// closed-loop workloads.
+	Rate float64
+	// RecommendN is the top-N size recommend requests ask for (default
+	// 10).
+	RecommendN int
+	// TimeoutMS is the per-request server budget stamped on explain and
+	// diagnose requests (0 = server default).
+	TimeoutMS int
+}
+
+// Request is one synthesized (or captured) request: everything needed
+// to issue it through the client package, plus its logical identity.
+type Request struct {
+	// Seq is the request's position in the stream, 0-based.
+	Seq int `json:"seq"`
+	// RID is the logical request ID sent as X-Emigre-Request-Id (stable
+	// across the retries of one call, and across capture and replay).
+	RID string `json:"rid"`
+	// OffsetUS is the scheduled arrival offset from stream start in
+	// microseconds (0 for closed-loop workloads).
+	OffsetUS int64 `json:"offset_us"`
+	// Op is OpExplain, OpRecommend or OpDiagnose.
+	Op string `json:"op"`
+	// User is the requesting user's label.
+	User string `json:"user"`
+	// WNI is the Why-Not item label (explain and diagnose).
+	WNI string `json:"wni,omitempty"`
+	// Mode and Method parameterize explain requests.
+	Mode   string `json:"mode,omitempty"`
+	Method string `json:"method,omitempty"`
+	// N is the recommend top-N size.
+	N int `json:"n,omitempty"`
+	// TimeoutMS is the per-request server budget (explain/diagnose).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// sampler draws indices over a population, Zipf-skewed or uniform.
+type sampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newSampler(rng *rand.Rand, n int, skew float64) (*sampler, error) {
+	s := &sampler{rng: rng, n: n}
+	//lint:allow floateq skew 0 is the exact uniform-sampling sentinel
+	if skew == 0 || n == 1 {
+		return s, nil
+	}
+	if skew <= 1 {
+		return nil, fmt.Errorf("load: skew must be 0 (uniform) or > 1 (Zipf), got %g", skew)
+	}
+	s.zipf = rand.NewZipf(rng, skew, 1, uint64(n-1))
+	return s, nil
+}
+
+func (s *sampler) draw() int {
+	if s.zipf != nil {
+		return int(s.zipf.Uint64())
+	}
+	return s.rng.Intn(s.n)
+}
+
+// mixer draws keys of a weight map with stable (sorted-key) order, so
+// the stream is identical across runs regardless of map iteration.
+type mixer struct {
+	keys    []string
+	cumsum  []float64
+	total   float64
+	rng     *rand.Rand
+	onlyKey string
+}
+
+func newMixer(rng *rand.Rand, mix map[string]float64, def string, valid []string) (*mixer, error) {
+	if len(mix) == 0 {
+		return &mixer{onlyKey: def}, nil
+	}
+	allowed := map[string]bool{}
+	for _, v := range valid {
+		allowed[v] = true
+	}
+	m := &mixer{rng: rng}
+	keys := make([]string, 0, len(mix))
+	for k := range mix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w := mix[k]
+		if !allowed[k] {
+			return nil, fmt.Errorf("load: unknown mix key %q (want one of %v)", k, valid)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("load: negative weight for %q", k)
+		}
+		//lint:allow floateq exact-zero weight means "drop this key"
+		if w == 0 {
+			continue
+		}
+		m.total += w
+		m.keys = append(m.keys, k)
+		m.cumsum = append(m.cumsum, m.total)
+	}
+	//lint:allow floateq exact-zero total: every weight was zero
+	if m.total == 0 {
+		return nil, fmt.Errorf("load: mix has no positive weights")
+	}
+	if len(m.keys) == 1 {
+		return &mixer{onlyKey: m.keys[0]}, nil
+	}
+	return m, nil
+}
+
+func (m *mixer) draw() string {
+	if m.onlyKey != "" {
+		return m.onlyKey
+	}
+	x := m.rng.Float64() * m.total
+	i := sort.SearchFloat64s(m.cumsum, x)
+	if i >= len(m.keys) {
+		i = len(m.keys) - 1
+	}
+	return m.keys[i]
+}
+
+var (
+	validOps     = []string{OpExplain, OpRecommend, OpDiagnose}
+	validModes   = []string{"remove", "add", "combined", "reweight"}
+	validMethods = []string{"incremental", "powerset", "exhaustive", "exhaustive-direct", "brute-force"}
+)
+
+// Generate synthesizes the request stream for cfg. The stream is a pure
+// function of cfg: every draw comes from one seeded source consumed in
+// a fixed order.
+func Generate(cfg Config) ([]Request, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("load: Count must be positive")
+	}
+	if len(cfg.Users) == 0 || len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("load: Users and Items populations are required")
+	}
+	arrival := cfg.Arrival
+	if arrival == "" {
+		arrival = ArrivalPoisson
+	}
+	if arrival != ArrivalPoisson && arrival != ArrivalClosed {
+		return nil, fmt.Errorf("load: unknown arrival process %q", arrival)
+	}
+	if arrival == ArrivalPoisson && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("load: Poisson arrivals need a positive Rate")
+	}
+	recommendN := cfg.RecommendN
+	if recommendN <= 0 {
+		recommendN = 10
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	users, err := newSampler(rng, len(cfg.Users), cfg.UserSkew)
+	if err != nil {
+		return nil, fmt.Errorf("load: user sampler: %w", err)
+	}
+	items, err := newSampler(rng, len(cfg.Items), cfg.ItemSkew)
+	if err != nil {
+		return nil, fmt.Errorf("load: item sampler: %w", err)
+	}
+	ops, err := newMixer(rng, cfg.OpMix, OpExplain, validOps)
+	if err != nil {
+		return nil, err
+	}
+	modes, err := newMixer(rng, cfg.ModeMix, "remove", validModes)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := newMixer(rng, cfg.MethodMix, "powerset", validMethods)
+	if err != nil {
+		return nil, err
+	}
+
+	reqs := make([]Request, cfg.Count)
+	var clock float64 // seconds
+	for i := range reqs {
+		if arrival == ArrivalPoisson {
+			clock += rng.ExpFloat64() / cfg.Rate
+		}
+		r := Request{
+			Seq:      i,
+			RID:      fmt.Sprintf("lg%06d-%08x", i, rng.Uint32()),
+			OffsetUS: int64(clock * 1e6),
+			Op:       ops.draw(),
+			User:     cfg.Users[users.draw()],
+		}
+		switch r.Op {
+		case OpExplain:
+			r.WNI = cfg.Items[items.draw()]
+			r.Mode = modes.draw()
+			r.Method = methods.draw()
+			r.TimeoutMS = cfg.TimeoutMS
+		case OpDiagnose:
+			r.WNI = cfg.Items[items.draw()]
+			r.Mode = modes.draw()
+			r.TimeoutMS = cfg.TimeoutMS
+		case OpRecommend:
+			r.N = recommendN
+		}
+		reqs[i] = r
+	}
+	return reqs, nil
+}

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of an exposition: the full sample
+// name (histogram _bucket/_sum/_count suffixes included), its labels in
+// input order, the parsed value, and the optional trailing timestamp
+// kept verbatim so a re-emit reproduces foreign expositions faithfully.
+type ParsedSample struct {
+	Name      string
+	Labels    []Label
+	Value     float64
+	Timestamp string
+}
+
+// LabelValue returns the value of the named label, or "" when absent.
+func (s *ParsedSample) LabelValue(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParsedFamily groups the samples of one metric family (histogram
+// derived series attach to their base family, matching how the
+// validator and the renderer treat them).
+type ParsedFamily struct {
+	// Name is the family (base) name.
+	Name string
+	// Help and Type carry the # HELP / # TYPE metadata; the Has flags
+	// distinguish "absent" from "empty" so re-emitting an exposition
+	// that declared no metadata stays faithful.
+	Help    string
+	HasHelp bool
+	Type    string
+	HasType bool
+	// Samples holds the family's sample lines in input order.
+	Samples []ParsedSample
+}
+
+// Value returns the value of the sample matching the full sample name
+// and exactly the given labels (order-insensitive). The second return
+// is false when no such series exists.
+func (f *ParsedFamily) Value(sampleName string, labels ...Label) (float64, bool) {
+	want := labelKey(labels)
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name == sampleName && labelKey(s.Labels) == want {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Total sums every plain sample of the family (samples named exactly
+// like the family — for histograms that excludes the derived _bucket/
+// _sum/_count series). For a counter family with one series per label
+// set this is the family-wide total, the quantity scrape-delta reports
+// care about.
+func (f *ParsedFamily) Total() float64 {
+	var sum float64
+	for i := range f.Samples {
+		if f.Samples[i].Name == f.Name {
+			sum += f.Samples[i].Value
+		}
+	}
+	return sum
+}
+
+// Exposition is a parsed Prometheus text exposition: families in first-
+// appearance order, each holding its samples in input order. Parsing
+// then re-emitting an exposition rendered by this package is
+// byte-identical; foreign expositions (comments, blank lines,
+// non-canonical float spellings) reach a fixed point after one
+// parse→emit cycle.
+type Exposition struct {
+	Families []*ParsedFamily
+
+	byName map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil when absent.
+func (e *Exposition) Family(name string) *ParsedFamily {
+	return e.byName[name]
+}
+
+// FamilyNames returns every family name in first-appearance order.
+func (e *Exposition) FamilyNames() []string {
+	names := make([]string, len(e.Families))
+	for i, f := range e.Families {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// CounterDeltas returns after.Total() - before.Total() for every
+// counter-typed family present in after, keyed by family name and
+// skipping zero deltas. Families absent from before count from zero, so
+// a scrape taken mid-run diffs cleanly against one taken at start.
+func CounterDeltas(before, after *Exposition) map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range after.Families {
+		if f.Type != "counter" {
+			continue
+		}
+		var base float64
+		if before != nil {
+			if bf := before.Family(f.Name); bf != nil {
+				base = bf.Total()
+			}
+		}
+		//lint:allow floateq exact-zero delta filter: counters that did not move
+		if d := f.Total() - base; d != 0 {
+			out[f.Name] = d
+		}
+	}
+	return out
+}
+
+// ParseExposition parses a Prometheus text exposition (format version
+// 0.0.4) into its families and samples. It accepts exactly the syntax
+// ValidateExposition accepts at the line level — metric/label name
+// charsets, label escaping, parseable values, optional timestamps,
+// duplicate-TYPE rejection — but does not enforce the cross-line
+// histogram contract (that is the validator's job; run both when
+// checking a scrape). Plain comments and blank lines are dropped.
+func ParseExposition(b []byte) (*Exposition, error) {
+	e := &Exposition{byName: map[string]*ParsedFamily{}}
+	types := map[string]string{}
+	text := string(b)
+	if text != "" && !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("obs: exposition must end with a newline")
+	}
+	for i, line := range strings.Split(text, "\n") {
+		if err := e.parseLine(line, types); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", i+1, err)
+		}
+	}
+	return e, nil
+}
+
+// family returns (creating if needed) the family record for name.
+func (e *Exposition) family(name string) *ParsedFamily {
+	if f := e.byName[name]; f != nil {
+		return f
+	}
+	f := &ParsedFamily{Name: name}
+	e.byName[name] = f
+	e.Families = append(e.Families, f)
+	return f
+}
+
+func (e *Exposition) parseLine(line string, types map[string]string) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return e.parseComment(line, types)
+	}
+	return e.parseSample(line, types)
+}
+
+func (e *Exposition) parseComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return nil // plain comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE needs a metric name and a type")
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		f := e.family(name)
+		if f.HasType {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its first sample", name)
+		}
+		f.Type, f.HasType = typ, true
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("HELP needs a metric name")
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		f := e.family(name)
+		f.Help, f.HasHelp = unescapeHelp(help), true
+	}
+	return nil
+}
+
+func (e *Exposition) parseSample(line string, types map[string]string) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	rawLabels, rest, err := parseOrderedLabels(rest)
+	if err != nil {
+		return fmt.Errorf("metric %s: %w", name, err)
+	}
+	valueText, timestamp, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if valueText == "" {
+		return fmt.Errorf("metric %s: missing value", name)
+	}
+	value, err := strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		return fmt.Errorf("metric %s: bad value %q", name, valueText)
+	}
+	familyName, _ := histogramFamily(types, name)
+	f := e.family(familyName)
+	f.Samples = append(f.Samples, ParsedSample{
+		Name:      name,
+		Labels:    rawLabels,
+		Value:     value,
+		Timestamp: strings.TrimSpace(timestamp),
+	})
+	return nil
+}
+
+// parseOrderedLabels parses an optional {name="value",...} block like
+// parseLabels but preserves label order and rejects duplicates.
+func parseOrderedLabels(s string) ([]Label, string, error) {
+	asMap, rest, err := parseLabels(s)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(asMap) == 0 {
+		return nil, rest, nil
+	}
+	// Re-scan the block in order; parseLabels already guaranteed it is
+	// well-formed and duplicate-free, so a light second pass suffices.
+	ordered := make([]Label, 0, len(asMap))
+	block := s[:len(s)-len(rest)]
+	i := 1 // past '{'
+	for len(ordered) < len(asMap) {
+		for i < len(block) && (block[i] == ' ' || block[i] == ',') {
+			i++
+		}
+		start := i
+		for i < len(block) && block[i] != '=' {
+			i++
+		}
+		lname := strings.TrimSpace(block[start:i])
+		ordered = append(ordered, Label{Name: lname, Value: asMap[lname]})
+		// Skip ="value" (escapes included).
+		i += 2 // '=' and opening quote
+		for i < len(block) && block[i] != '"' {
+			if block[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		i++ // closing quote
+	}
+	return ordered, rest, nil
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// WritePrometheus re-emits the exposition in the text format: families
+// in parse order, HELP then TYPE (when present) then samples in parse
+// order. Emitting output of this package's renderer reproduces it
+// byte for byte.
+func (e *Exposition) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range e.Families {
+		if f.HasHelp {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		if f.HasType {
+			b.WriteString("# TYPE ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(f.Type)
+			b.WriteByte('\n')
+		}
+		for i := range f.Samples {
+			s := &f.Samples[i]
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for j, l := range s.Labels {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabelValue(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			if s.Timestamp != "" {
+				b.WriteByte(' ')
+				b.WriteString(s.Timestamp)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SortedCounterFamilies returns the names of every counter family in
+// lexical order — a stable iteration aid for report rendering.
+func (e *Exposition) SortedCounterFamilies() []string {
+	var names []string
+	for _, f := range e.Families {
+		if f.Type == "counter" {
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

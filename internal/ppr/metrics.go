@@ -9,22 +9,36 @@ import "github.com/why-not-xai/emigre/internal/obs"
 // The residual-mass histogram needs an O(n) sum the engines do not
 // otherwise compute; it is gated on obs.Enabled so disabling metrics
 // removes the pass entirely.
-var (
-	runsForward = obs.Default().Counter("emigre_ppr_runs_total",
-		"Completed PPR engine runs by engine.", obs.L("engine", "forward_push"))
-	runsReverse = obs.Default().Counter("emigre_ppr_runs_total",
-		"Completed PPR engine runs by engine.", obs.L("engine", "reverse_push"))
-	runsPower = obs.Default().Counter("emigre_ppr_runs_total",
-		"Completed PPR engine runs by engine.", obs.L("engine", "power"))
-	runsMonteCarlo = obs.Default().Counter("emigre_ppr_runs_total",
-		"Completed PPR engine runs by engine.", obs.L("engine", "monte_carlo"))
+// Each family's name literal lives in exactly one helper so help
+// strings and bucket layouts cannot drift between per-engine variants
+// (the metricname vet check enforces this repo-wide).
+func runsCounter(engine string) *obs.Counter {
+	return obs.Default().Counter("emigre_ppr_runs_total",
+		"Completed PPR engine runs by engine.", obs.L("engine", engine))
+}
 
-	pushesForward = obs.Default().Counter("emigre_ppr_pushes_total",
-		"Individual local-push operations by engine.", obs.L("engine", "forward_push"))
-	pushesReverse = obs.Default().Counter("emigre_ppr_pushes_total",
-		"Individual local-push operations by engine.", obs.L("engine", "reverse_push"))
-	pushesDynamic = obs.Default().Counter("emigre_ppr_pushes_total",
-		"Individual local-push operations by engine.", obs.L("engine", "dynamic"))
+func pushesCounter(engine string) *obs.Counter {
+	return obs.Default().Counter("emigre_ppr_pushes_total",
+		"Individual local-push operations by engine.", obs.L("engine", engine))
+}
+
+// residualMassHistogram spans n·ε (the push termination bound, ~1e-3 on
+// the paper's graphs) down to fully drained vectors.
+func residualMassHistogram(engine string) *obs.Histogram {
+	return obs.Default().Histogram("emigre_ppr_residual_mass",
+		"Terminal residual L1 mass of completed push runs.",
+		obs.ExpBuckets(1e-9, 10, 10), obs.L("engine", engine))
+}
+
+var (
+	runsForward    = runsCounter("forward_push")
+	runsReverse    = runsCounter("reverse_push")
+	runsPower      = runsCounter("power")
+	runsMonteCarlo = runsCounter("monte_carlo")
+
+	pushesForward = pushesCounter("forward_push")
+	pushesReverse = pushesCounter("reverse_push")
+	pushesDynamic = pushesCounter("dynamic")
 
 	powerIterations = obs.Default().Counter("emigre_ppr_iterations_total",
 		"Power-iteration sweeps (each O(E)) across both directions.")
@@ -33,14 +47,8 @@ var (
 	dynamicUpdates = obs.Default().Counter("emigre_ppr_dynamic_updates_total",
 		"Dynamic forward-push incremental updates applied.")
 
-	// residualMass spans n·ε (the push termination bound, ~1e-3 on the
-	// paper's graphs) down to fully drained vectors.
-	residualMassForward = obs.Default().Histogram("emigre_ppr_residual_mass",
-		"Terminal residual L1 mass of completed push runs.",
-		obs.ExpBuckets(1e-9, 10, 10), obs.L("engine", "forward_push"))
-	residualMassReverse = obs.Default().Histogram("emigre_ppr_residual_mass",
-		"Terminal residual L1 mass of completed push runs.",
-		obs.ExpBuckets(1e-9, 10, 10), obs.L("engine", "reverse_push"))
+	residualMassForward = residualMassHistogram("forward_push")
+	residualMassReverse = residualMassHistogram("reverse_push")
 )
 
 // recordPush tallies one completed static push run.

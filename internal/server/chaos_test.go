@@ -71,6 +71,9 @@ func normalize(r *client.ExplainResponse) *client.ExplainResponse {
 	}
 	c := *r
 	c.DurationUS = 0
+	// Wire metadata varies run to run (random correlation IDs, cache
+	// warmth, attempt counts) without affecting explanation content.
+	c.Meta = client.Meta{}
 	return &c
 }
 

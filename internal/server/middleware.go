@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"io"
 	"net/http"
@@ -13,11 +15,36 @@ import (
 	"github.com/why-not-xai/emigre/internal/pprcache"
 )
 
+// RequestIDHeader carries the request correlation ID. Clients may send
+// one (the resilient client sends the same ID for every retry of a
+// logical call, so capture tools can group attempts); the server
+// generates one otherwise, and always echoes it on the response.
+const RequestIDHeader = "X-Emigre-Request-Id"
+
+// Per-request tally headers: the PPR-cache hit/miss count ("3h/1m") and
+// the parallel-CHECK committed/wasted count ("5c/2w") of the work this
+// request triggered — the same numbers the access log carries, exposed
+// on the wire so load-test session logs can record them per request.
+const (
+	CacheTallyHeader = "X-Emigre-Cache"
+	ParTallyHeader   = "X-Emigre-Par"
+)
+
+// maxRequestIDLen bounds accepted client-supplied IDs; longer ones are
+// replaced, not truncated, so an ID is either the client's exact string
+// or unambiguously server-minted.
+const maxRequestIDLen = 64
+
 // requestInfo accumulates per-request details the logging middleware
-// cannot see on its own (the number of CHECK invocations a search ran).
+// cannot see on its own (the number of CHECK invocations a search ran),
+// and hands the middleware-created tally accumulators to handlers so
+// they can surface them as response headers before the body is written.
 type requestInfo struct {
 	tests    int
 	hasTests bool
+	rid      string
+	rs       *pprcache.RequestStats
+	prs      *emigre.PipelineRequestStats
 }
 
 type requestInfoKey struct{}
@@ -34,6 +61,51 @@ func recordTests(ctx context.Context, tests int) {
 	if info := infoFrom(ctx); info != nil {
 		info.tests = tests
 		info.hasTests = true
+	}
+}
+
+// newRequestID mints a 16-hex-char random correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a static
+		// fallback keeps request serving alive and is visibly synthetic.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied ID only when it is short
+// and printable-ASCII without spaces or quotes, so IDs embed safely in
+// the access log and response headers.
+func sanitizeRequestID(s string) string {
+	if s == "" || len(s) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return ""
+		}
+	}
+	return s
+}
+
+// setTallyHeaders exposes the request's cache and pipeline tallies as
+// response headers. Handlers call it after their search work completes
+// and before the first body write.
+func setTallyHeaders(w http.ResponseWriter, ctx context.Context) {
+	info := infoFrom(ctx)
+	if info == nil {
+		return
+	}
+	if info.rs != nil {
+		w.Header().Set(CacheTallyHeader,
+			strconv.FormatInt(info.rs.Hits(), 10)+"h/"+strconv.FormatInt(info.rs.Misses(), 10)+"m")
+	}
+	if info.prs != nil {
+		w.Header().Set(ParTallyHeader,
+			strconv.FormatInt(info.prs.Committed(), 10)+"c/"+strconv.FormatInt(info.prs.Wasted(), 10)+"w")
 	}
 }
 
@@ -107,6 +179,12 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		}
 		prs := &emigre.PipelineRequestStats{}
 		ctx = emigre.WithPipelineRequestStats(ctx, prs)
+		info.rs, info.prs = rs, prs
+		info.rid = sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if info.rid == "" {
+			info.rid = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, info.rid)
 		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -134,8 +212,8 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			if c, wd := prs.Committed(), prs.Wasted(); c > 0 || wd > 0 {
 				line += " par=" + strconv.FormatInt(c, 10) + "c/" + strconv.FormatInt(wd, 10) + "w"
 			}
-			s.log.Printf("%s %s %d %s%s",
-				r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond), line)
+			s.log.Printf("%s %s %d %s rid=%s%s",
+				r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond), info.rid, line)
 		}()
 		next.ServeHTTP(sw, r)
 	})

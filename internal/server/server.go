@@ -465,6 +465,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	for i, sc := range top {
 		items[i] = scoredItem{Node: sc.Node, Label: s.g.Label(sc.Node), Score: sc.Score}
 	}
+	setTallyHeaders(w, r.Context())
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"user":  user,
 		"items": items,
@@ -666,6 +667,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	recordTests(r.Context(), expl.Stats.Tests)
+	setTallyHeaders(w, r.Context())
 
 	desc := expl.Describe(s.g)
 	if expl.Partial {
