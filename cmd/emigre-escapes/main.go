@@ -1,0 +1,258 @@
+// Command emigre-escapes gates the allocation budget of the hot-path
+// packages: it runs the compiler's escape analysis (go build
+// -gcflags=-m), normalizes the "escapes to heap" / "moved to heap"
+// diagnostics into a stable baseline, and fails when code review
+// would want to know — a new escape site appeared or an existing one
+// multiplied.
+//
+// Usage:
+//
+//	go run ./cmd/emigre-escapes            # diff against ESCAPES.json
+//	go run ./cmd/emigre-escapes -update    # rewrite the baseline
+//	go run ./cmd/emigre-escapes ./internal/ppr
+//
+// Entries are keyed by (file, message) with an occurrence count, NOT
+// by line: moving code around is free, adding heap traffic is not.
+// Exit status: 0 clean (improvements are reported but pass), 1 new or
+// grown escapes, 2 build or usage failure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// hotPackages is the default gate scope: the per-request compute path
+// (push PPR, graph kernels, vector cache, explanation search).
+var hotPackages = []string{
+	"./internal/emigre",
+	"./internal/hin",
+	"./internal/ppr",
+	"./internal/pprcache",
+}
+
+// Entry is one escape site class: every diagnostic in file with this
+// exact message, however many lines carry it.
+type Entry struct {
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the committed ESCAPES.json document.
+type Baseline struct {
+	// Packages records the gate scope so a diff is meaningless-proof:
+	// comparing runs over different package sets fails loudly.
+	Packages []string `json:"packages"`
+	Entries  []Entry  `json:"entries"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	var (
+		dir      = "."
+		baseline = "ESCAPES.json"
+		update   = false
+	)
+	var pkgs []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-C":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "emigre-escapes: -C needs a directory")
+				return 2
+			}
+			i++
+			dir = args[i]
+		case "-baseline":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "emigre-escapes: -baseline needs a path")
+				return 2
+			}
+			i++
+			baseline = args[i]
+		case "-update":
+			update = true
+		case "-h", "-help", "--help":
+			fmt.Fprint(stderr, "usage: emigre-escapes [-C dir] [-baseline ESCAPES.json] [-update] [packages]\n")
+			return 2
+		default:
+			if strings.HasPrefix(args[i], "-") {
+				fmt.Fprintf(stderr, "emigre-escapes: unknown flag %s\n", args[i])
+				return 2
+			}
+			pkgs = append(pkgs, args[i])
+		}
+	}
+	if len(pkgs) == 0 {
+		pkgs = hotPackages
+	}
+	sort.Strings(pkgs)
+
+	out, err := escapeOutput(dir, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "emigre-escapes: %v\n", err)
+		return 2
+	}
+	got := Baseline{Packages: pkgs, Entries: parseEscapes(out)}
+
+	path := baseline
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(dir, path)
+	}
+	if update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "emigre-escapes: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "emigre-escapes: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d escape classes across %d packages\n", baseline, len(got.Entries), len(pkgs))
+		return 0
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "emigre-escapes: %v (run with -update to create the baseline)\n", err)
+		return 2
+	}
+	var want Baseline
+	if err := json.Unmarshal(data, &want); err != nil {
+		fmt.Fprintf(stderr, "emigre-escapes: %s: %v\n", baseline, err)
+		return 2
+	}
+	if !equalStrings(want.Packages, pkgs) {
+		fmt.Fprintf(stderr, "emigre-escapes: baseline covers %v, this run covers %v; rerun with matching packages or -update\n",
+			want.Packages, pkgs)
+		return 2
+	}
+
+	regressions, improvements := diff(want.Entries, got.Entries)
+	for _, line := range improvements {
+		fmt.Fprintf(stdout, "improved: %s\n", line)
+	}
+	if len(regressions) > 0 {
+		for _, line := range regressions {
+			fmt.Fprintf(stdout, "REGRESSION: %s\n", line)
+		}
+		fmt.Fprintf(stdout, "%d new or grown escape class(es); if intentional, rerun with -update and justify in the PR\n", len(regressions))
+		return 1
+	}
+	if len(improvements) > 0 {
+		fmt.Fprintf(stdout, "allocation budget improved; rerun with -update to ratchet the baseline down\n")
+	} else {
+		fmt.Fprintf(stdout, "allocation budget unchanged: %d escape classes\n", len(got.Entries))
+	}
+	return 0
+}
+
+// escapeOutput builds pkgs with -gcflags=-m and returns the combined
+// diagnostics. The compiler replays diagnostics from the build cache,
+// so repeat runs are cheap and deterministic. A build failure is an
+// error; -m diagnostics land on stderr next to it, so the output is
+// returned only when the build succeeded.
+func escapeOutput(dir string, pkgs []string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgs...)...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, buf.String())
+	}
+	return buf.Bytes(), nil
+}
+
+// parseEscapes extracts heap-escape diagnostics from -m output and
+// folds them into sorted (file, message, count) entries. Positions are
+// deliberately discarded: the key survives unrelated line churn. Paths
+// outside the module (absolute GOROOT paths from inlined generic
+// instantiations) are skipped — stdlib internals are not ours to gate.
+func parseEscapes(out []byte) []Entry {
+	counts := map[Entry]int{}
+	for _, line := range strings.Split(string(out), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		file := strings.TrimSpace(parts[0])
+		if file == "" || filepath.IsAbs(file) || !strings.HasSuffix(file, ".go") {
+			continue
+		}
+		msg := strings.TrimSpace(parts[3])
+		counts[Entry{File: filepath.ToSlash(file), Message: msg}]++
+	}
+	entries := make([]Entry, 0, len(counts))
+	for e, n := range counts {
+		e.Count = n
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		return entries[i].Message < entries[j].Message
+	})
+	return entries
+}
+
+// diff compares baseline entries to the current run. A key present
+// only in got, or with a higher count, is a regression; a key that
+// shrank or vanished is an improvement.
+func diff(want, got []Entry) (regressions, improvements []string) {
+	wantN := map[Entry]int{}
+	for _, e := range want {
+		wantN[Entry{File: e.File, Message: e.Message}] = e.Count
+	}
+	gotN := map[Entry]int{}
+	for _, e := range got {
+		key := Entry{File: e.File, Message: e.Message}
+		gotN[key] = e.Count
+		old, ok := wantN[key]
+		switch {
+		case !ok:
+			regressions = append(regressions, fmt.Sprintf("%s: %q is a new escape (%d site(s))", e.File, e.Message, e.Count))
+		case e.Count > old:
+			regressions = append(regressions, fmt.Sprintf("%s: %q grew %d -> %d", e.File, e.Message, old, e.Count))
+		case e.Count < old:
+			improvements = append(improvements, fmt.Sprintf("%s: %q shrank %d -> %d", e.File, e.Message, old, e.Count))
+		}
+	}
+	for _, e := range want {
+		if _, ok := gotN[Entry{File: e.File, Message: e.Message}]; !ok {
+			improvements = append(improvements, fmt.Sprintf("%s: %q eliminated (was %d)", e.File, e.Message, e.Count))
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(improvements)
+	return regressions, improvements
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

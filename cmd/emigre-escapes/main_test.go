@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# example.com/m/p",
+		"p/a.go:10:2: can inline f",
+		"p/a.go:12:14: make([]int, n) escapes to heap",
+		"p/a.go:40:14: make([]int, n) escapes to heap", // same class, new line
+		"p/a.go:13:2: moved to heap: x",
+		"p/b.go:3:9: &T{...} escapes to heap",
+		"/usr/local/go/src/sync/atomic/type.go:63:6: v escapes to heap", // stdlib: skipped
+		"not a diagnostic line",
+		"",
+	}, "\n")
+	got := parseEscapes([]byte(out))
+	want := []Entry{
+		{File: "p/a.go", Message: "make([]int, n) escapes to heap", Count: 2},
+		{File: "p/a.go", Message: "moved to heap: x", Count: 1},
+		{File: "p/b.go", Message: "&T{...} escapes to heap", Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseEscapes =\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := []Entry{
+		{File: "a.go", Message: "m1", Count: 2},
+		{File: "a.go", Message: "m2", Count: 1},
+		{File: "b.go", Message: "m3", Count: 1},
+	}
+	cur := []Entry{
+		{File: "a.go", Message: "m1", Count: 3}, // grew
+		{File: "b.go", Message: "m3", Count: 1}, // unchanged
+		{File: "c.go", Message: "m4", Count: 1}, // new
+		// a.go m2 eliminated
+	}
+	reg, imp := diff(base, cur)
+	if len(reg) != 2 {
+		t.Fatalf("regressions = %v, want 2", reg)
+	}
+	if !strings.Contains(reg[0], "grew 2 -> 3") || !strings.Contains(reg[1], "new escape") {
+		t.Errorf("regression text = %v", reg)
+	}
+	if len(imp) != 1 || !strings.Contains(imp[0], "eliminated") {
+		t.Errorf("improvements = %v, want one elimination", imp)
+	}
+}
+
+// writeTempModule lays out a one-package module whose single function
+// forces n slice escapes.
+func writeTempModule(t *testing.T, dir string, escapes int) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module escapes.example/m\n\ngo 1.24.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("package p\n\nvar Sink []*[]int\n\nfunc Grow(n int) {\n")
+	for i := 0; i < escapes; i++ {
+		b.WriteString("\t{\n\t\ts := make([]int, n)\n\t\tSink = append(Sink, &s)\n\t}\n")
+	}
+	b.WriteString("}\n")
+	if err := os.MkdirAll(filepath.Join(dir, "p"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p", "p.go"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateEndToEnd drives the real compiler: baseline a module, verify
+// a clean re-run passes, seed an extra escape and verify the gate
+// trips with exit 1, then -update and verify it passes again.
+func TestGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build")
+	}
+	dir := t.TempDir()
+	writeTempModule(t, dir, 1)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "-update", "./p"}, &out, &errb); code != 0 {
+		t.Fatalf("-update exit = %d: %s%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-C", dir, "./p"}, &out, &errb); code != 0 {
+		t.Fatalf("clean diff exit = %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "unchanged") {
+		t.Errorf("clean diff output = %q", out.String())
+	}
+
+	// The escape class count is position-insensitive, so the seeded
+	// regression is the same (file, message) growing — the hard case.
+	writeTempModule(t, dir, 2)
+	out.Reset()
+	if code := run([]string{"-C", dir, "./p"}, &out, &errb); code != 1 {
+		t.Fatalf("regression exit = %d, want 1: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "grew 1 -> 2") {
+		t.Errorf("regression output = %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-C", dir, "-update", "./p"}, &out, &errb); code != 0 {
+		t.Fatalf("re-update exit = %d: %s%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-C", dir, "./p"}, &out, &errb); code != 0 {
+		t.Fatalf("post-update diff exit = %d: %s%s", code, out.String(), errb.String())
+	}
+
+	// Shrinking back is an improvement, not a failure.
+	writeTempModule(t, dir, 1)
+	out.Reset()
+	if code := run([]string{"-C", dir, "./p"}, &out, &errb); code != 0 {
+		t.Fatalf("improvement exit = %d, want 0: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "improved") {
+		t.Errorf("improvement output = %q", out.String())
+	}
+}
+
+// TestPackageScopeMismatchRefuses: diffing against a baseline built
+// for different packages is a usage error, not a silent pass.
+func TestPackageScopeMismatchRefuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build")
+	}
+	dir := t.TempDir()
+	writeTempModule(t, dir, 1)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "-update", "./p"}, &out, &errb); code != 0 {
+		t.Fatalf("-update exit = %d: %s%s", code, out.String(), errb.String())
+	}
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("mismatched scope exit = %d, want 2: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "baseline covers") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+// TestMissingBaselineIsUsageError: no ESCAPES.json and no -update.
+func TestMissingBaselineIsUsageError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build")
+	}
+	dir := t.TempDir()
+	writeTempModule(t, dir, 1)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "./p"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "-update") {
+		t.Errorf("stderr does not point at -update: %q", errb.String())
+	}
+}

@@ -1,12 +1,15 @@
 // Command emigre-vet runs the repository's custom static-analysis
-// suite (internal/lint) over the module: seven stdlib-only analyzers
+// suite (internal/lint) over the module: ten stdlib-only analyzers
 // enforcing the invariants the code relies on for correctness —
 // cancellation polling in unbounded search loops (ctxpoll), version
 // bumps on graph mutation (versionbump), fmath-routed float
 // comparisons (floateq), cache-routed PPR engine calls (rawengine),
 // errors.Is for sentinel errors (errcmp), unique string-literal
-// failpoint names (faultsite) and unique string-literal metric family
-// names (metricname).
+// failpoint names (faultsite), unique string-literal metric family
+// names (metricname), and three whole-program concurrency checks:
+// acquisition-order cycles over struct-owned mutexes (lockorder),
+// bounded-lifetime evidence for every spawned goroutine (goroleak)
+// and no mixing of atomic and plain access to one field (atomicmix).
 //
 // Usage:
 //

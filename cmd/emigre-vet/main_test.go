@@ -42,6 +42,27 @@ func TestCleanSubsetExitsZero(t *testing.T) {
 	}
 }
 
+// TestConcurrencySubset runs only the whole-program concurrency
+// analyzers: the workers fixture violates all three, so the run must
+// exit 1 and every diagnostic must come from one of them.
+func TestConcurrencySubset(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "badmod"), "-run", "lockorder,goroleak,atomicmix", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	for _, name := range []string{"[lockorder]", "[goroleak]", "[atomicmix]"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("output missing %s diagnostics:\n%s", name, out.String())
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.Contains(line, "[errcmp]") || strings.Contains(line, "[floateq]") {
+			t.Errorf("unselected analyzer ran: %s", line)
+		}
+	}
+}
+
 // TestListAnalyzers checks -list names every analyzer of the suite.
 func TestListAnalyzers(t *testing.T) {
 	var out, errb bytes.Buffer
@@ -49,7 +70,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxpoll", "errcmp", "faultsite", "floateq", "rawengine", "versionbump"} {
+	for _, name := range []string{"atomicmix", "ctxpoll", "errcmp", "faultsite", "floateq", "goroleak", "lockorder", "metricname", "rawengine", "versionbump"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}

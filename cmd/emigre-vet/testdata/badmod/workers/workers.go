@@ -1,0 +1,47 @@
+// Package workers is a deliberately broken fixture for the emigre-vet
+// golden test: it violates lockorder, goroleak and atomicmix.
+package workers
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hub holds two mutexes acquired in opposite orders and a counter
+// accessed both atomically and plainly.
+type Hub struct {
+	a    sync.Mutex
+	b    sync.Mutex
+	done atomic.Int64
+}
+
+func (h *Hub) Forward() {
+	h.a.Lock()
+	defer h.a.Unlock()
+	h.b.Lock()
+	h.b.Unlock()
+}
+
+func (h *Hub) Backward() {
+	h.b.Lock()
+	defer h.b.Unlock()
+	h.a.Lock()
+	h.a.Unlock()
+}
+
+func (h *Hub) Pump() {
+	go func() {
+		for {
+			h.done.Add(1)
+		}
+	}()
+}
+
+func (h *Hub) Done() int64 {
+	return h.done.Load()
+}
+
+func (h *Hub) Reset() {
+	var zero atomic.Int64
+	h.done = zero
+}

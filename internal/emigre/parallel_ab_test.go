@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/why-not-xai/emigre/internal/pprcache"
+	"github.com/why-not-xai/emigre/internal/testleak"
 )
 
 // TestParallelABExplanationsIdentical is the acceptance A/B for the
@@ -16,6 +17,7 @@ import (
 // and 8 speculative workers. Ordered commit may only change how much
 // work runs, never what is returned.
 func TestParallelABExplanationsIdentical(t *testing.T) {
+	testleak.Check(t) // speculative CHECK workers must all be joined
 	for _, mode := range []Mode{Remove, Add, Combined, Reweight} {
 		for _, method := range allMethods(mode) {
 			seq := newFixture(t, Options{Mode: mode, Method: method})
@@ -161,6 +163,7 @@ func TestParallelRequestStatsTally(t *testing.T) {
 // workers hammer it within each query. Correctness bar: every
 // goroutine still gets the sequential answer.
 func TestParallelExplainUnderCacheChurn(t *testing.T) {
+	testleak.Check(t)
 	tiny := pprcache.New(pprcache.Config{MaxEntries: 4, Shards: 1})
 	f := newFixture(t, Options{Mode: Remove, Method: Powerset, Parallelism: 8, Cache: tiny})
 	want, err := newFixture(t, Options{Mode: Remove, Method: Powerset}).ex.Explain(f.query())

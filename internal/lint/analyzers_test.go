@@ -103,8 +103,11 @@ func TestAnalyzers(t *testing.T) {
 		analyzer *Analyzer
 		patterns []string
 	}{
+		{"atomicmix", AtomicMix(), []string{"./atomicmix", "./atomicmix/sub"}},
 		{"ctxpoll", CtxPoll(), []string{"./ctxpoll", "./ctxpoll/emigre"}},
 		{"errcmp", ErrCmp(), []string{"./errcmp"}},
+		{"goroleak", GoroLeak(), []string{"./goroleak"}},
+		{"lockorder", LockOrder(), []string{"./lockorder"}},
 		{"faultsite", FaultSite(), []string{"./faultsite", "./faultsite/sub"}},
 		{"floateq", FloatEq(), []string{"./floateq"}},
 		{"metricname", MetricName(), []string{"./metricname", "./metricname/sub"}},
@@ -152,7 +155,8 @@ func TestDirectives(t *testing.T) {
 // fixture package at once: analyzers must stay inside their scoped
 // package names and diagnostics must come out sorted.
 func TestSuiteOverWholeFixtureModule(t *testing.T) {
-	pkgs := loadFixture(t, "./ctxpoll", "./ctxpoll/emigre", "./rawengine/ppr", "./rawengine/rec", "./rawengine/emigre", "./versionbump")
+	pkgs := loadFixture(t, "./ctxpoll", "./ctxpoll/emigre", "./rawengine/ppr", "./rawengine/rec", "./rawengine/emigre", "./versionbump",
+		"./atomicmix", "./atomicmix/sub", "./goroleak", "./lockorder")
 	res := Analyze(pkgs, Suite())
 	// The ctxpoll fixture is a package named ppr with no float or error
 	// comparisons; the rawengine ppr fixture must not be flagged (only

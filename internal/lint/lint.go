@@ -28,23 +28,32 @@ import (
 	"strings"
 )
 
-// An Analyzer checks one invariant over one package at a time.
+// An Analyzer checks one invariant. Most analyzers inspect one package
+// at a time via Run; whole-program analyzers (lock ordering needs the
+// cross-package call graph) set RunModule instead and receive every
+// loaded package in one pass. Exactly one of the two must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and directives.
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
-	// Run inspects the package and reports violations via pass.Reportf.
+	// Run inspects one package and reports violations via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects every loaded package at once — the hook for
+	// analyses that need the whole-module call graph.
+	RunModule func(pass *ModulePass)
 }
 
 // Suite returns the full analyzer suite in stable order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix(),
 		CtxPoll(),
 		ErrCmp(),
 		FaultSite(),
 		FloatEq(),
+		GoroLeak(),
+		LockOrder(),
 		MetricName(),
 		RawEngine(),
 		VersionBump(),
@@ -88,6 +97,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one (analyzer, whole module) unit of work: every
+// package of the load at once, for analyses whose facts cross package
+// boundaries (the lock-acquisition graph, cross-package call chains).
+type ModulePass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Pkgs holds every loaded package, sorted by import path.
+	Pkgs []*Package
+	// Fset translates token positions (shared across the load).
+	Fset *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Result is the outcome of running a suite over a set of packages.
 type Result struct {
 	// Diagnostics holds every surviving (non-suppressed) violation,
@@ -115,25 +147,49 @@ func Run(cfg LoadConfig, analyzers []*Analyzer, patterns []string) (*Result, err
 	return Analyze(pkgs, analyzers), nil
 }
 
-// Analyze applies the analyzers to already-loaded packages.
+// Analyze applies the analyzers to already-loaded packages:
+// per-package analyzers to each package in turn, module analyzers to
+// the whole set at once. Directive suppression keys on (file, line), so
+// collecting every package's directives up front before filtering is
+// equivalent to the per-package view while also covering module-wide
+// diagnostics.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) *Result {
 	res := &Result{Packages: len(pkgs)}
+	// Directive names validate against the whole suite, not just the
+	// analyzers selected for this run: `-run goroleak` must not flag
+	// every //lint:allow floateq in the tree as unknown.
 	known := map[string]bool{}
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	var raw []Diagnostic
+	dirs := &directives{allow: map[allowKey]bool{}}
 	for _, pkg := range pkgs {
 		res.TypeErrors = append(res.TypeErrors, pkg.TypeErrors...)
-		var raw []Diagnostic
+		collectDirectives(pkg, known, &raw, dirs)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, diags: &raw}
 			a.Run(pass)
 		}
-		dirs := collectDirectives(pkg, known, &raw)
-		for _, d := range raw {
-			if !dirs.suppressed(d) {
-				res.Diagnostics = append(res.Diagnostics, d)
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
 			}
+			pass := &ModulePass{Analyzer: a, Pkgs: pkgs, Fset: pkgs[0].Fset, diags: &raw}
+			a.RunModule(pass)
+		}
+	}
+	for _, d := range raw {
+		if !dirs.suppressed(d) {
+			res.Diagnostics = append(res.Diagnostics, d)
 		}
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
@@ -166,14 +222,13 @@ type directives struct {
 
 const allowPrefix = "//lint:allow "
 
-// collectDirectives parses every //lint:allow comment of the package.
-// A line directive suppresses its own line and the next line; a
+// collectDirectives parses every //lint:allow comment of the package
+// into d. A line directive suppresses its own line and the next line; a
 // directive in a function declaration's doc comment suppresses the
 // whole function body. Malformed directives (unknown analyzer, missing
 // reason) are appended to raw as diagnostics so they cannot silently
 // mask anything.
-func collectDirectives(pkg *Package, known map[string]bool, raw *[]Diagnostic) *directives {
-	d := &directives{allow: map[allowKey]bool{}}
+func collectDirectives(pkg *Package, known map[string]bool, raw *[]Diagnostic, d *directives) {
 	fset := pkg.Fset
 	for _, file := range pkg.Files {
 		funcDoc := map[*ast.CommentGroup]*ast.FuncDecl{}
@@ -219,7 +274,6 @@ func collectDirectives(pkg *Package, known map[string]bool, raw *[]Diagnostic) *
 			}
 		}
 	}
-	return d
 }
 
 func (d *directives) suppressed(diag Diagnostic) bool {

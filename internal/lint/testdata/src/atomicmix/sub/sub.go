@@ -1,0 +1,12 @@
+// Package sub proves atomicmix is whole-program: the atomic field is
+// declared in the parent package, the plain access happens here.
+package sub
+
+import "fixture.example/m/atomicmix"
+
+// bad: plain write to a wrapper-typed field of another package.
+func Reset(e *atomicmix.Exported) {
+	e.Total.Store(0) // good: method call
+	v := e.Total     // want "atomic type"
+	_ = v
+}

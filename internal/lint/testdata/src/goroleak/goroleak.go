@@ -1,0 +1,92 @@
+// Fixture for the goroleak analyzer: goroutines must carry static
+// bounded-lifetime evidence (a WaitGroup signal, a context poll, or a
+// reasoned allow directive).
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func fire() {}
+
+// bad: nothing bounds the loop's lifetime.
+func Leaked() {
+	go func() { // want "without bounded-lifetime evidence"
+		for {
+			fire()
+		}
+	}()
+}
+
+// bad: a named call receiving no context is just as opaque.
+func LeakedNamed() {
+	go fire() // want "without bounded-lifetime evidence"
+}
+
+// good: the worker signals a WaitGroup some joiner waits on.
+func BoundedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fire()
+	}()
+	wg.Wait()
+}
+
+// good: the closer's lifetime is the workers' lifetimes.
+func BoundedByWait(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// good: a select on ctx.Done bounds the loop.
+func BoundedBySelect(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-jobs:
+				fire()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// good: delegating to a context-taking callee inherits its poll.
+func BoundedByCtxCall(ctx context.Context) {
+	go func() {
+		_ = work(ctx)
+	}()
+}
+
+// good: a named call handed the context is bounded by the callee.
+func BoundedNamed(ctx context.Context) {
+	go work(ctx)
+}
+
+// good: explicitly allowed with a reason.
+func Allowed() {
+	//lint:allow goroleak process-lifetime pump, exits with the program
+	go func() {
+		for {
+			fire()
+		}
+	}()
+}
+
+// bad: an allow for a different analyzer does not cover goroleak.
+func WrongAllow() {
+	//lint:allow floateq not the analyzer that fires here
+	go func() { // want "without bounded-lifetime evidence"
+		for {
+			fire()
+		}
+	}()
+}

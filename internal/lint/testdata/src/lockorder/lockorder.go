@@ -1,0 +1,148 @@
+// Fixture for the lockorder analyzer: acquisition-order cycles over
+// struct-owned mutexes, RWMutex read/write aliasing onto one lock
+// node, and held reacquisition through the call graph.
+package lockorder
+
+import "sync"
+
+// Pair owns the two mutexes of the classic AB/BA cycle.
+type Pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ok sync.Mutex
+}
+
+// AThenB establishes a→b.
+func (p *Pair) AThenB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want "lock ordering cycle"
+	defer p.b.Unlock()
+}
+
+// BThenA establishes b→a: together with AThenB, a cycle.
+func (p *Pair) BThenA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want "lock ordering cycle"
+	defer p.a.Unlock()
+}
+
+// good: sequential critical sections impose no order.
+func (p *Pair) Sequential() {
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// good: a consistent one-way order (ok→a here, and nothing ever
+// acquires ok while holding a).
+func (p *Pair) Consistent() {
+	p.ok.Lock()
+	defer p.ok.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// Tree aliases an RWMutex's read and write sides onto one lock node.
+type Tree struct {
+	rw   sync.RWMutex
+	meta sync.Mutex
+}
+
+// ReadThenMeta takes the read side of rw, then meta: rw→meta.
+func (t *Tree) ReadThenMeta() {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.meta.Lock() // want "lock ordering cycle"
+	t.meta.Unlock()
+}
+
+// MetaThenWrite takes meta, then the *write* side of rw — the RLock in
+// ReadThenMeta aliases to the same node, closing the cycle.
+func (t *Tree) MetaThenWrite() {
+	t.meta.Lock()
+	defer t.meta.Unlock()
+	t.rw.Lock() // want "lock ordering cycle"
+	t.rw.Unlock()
+}
+
+// Counter reacquires its own lock through a call chain.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bad: bump relocks c.mu while Incr still holds it.
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want "self-deadlock"
+}
+
+// bad: direct double acquisition.
+func (c *Counter) Twice() {
+	c.mu.Lock()
+	c.mu.Lock() // want "acquired while already held"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// good: the helper runs after the critical section.
+func (c *Counter) SafeIncr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.bump()
+}
+
+// good: a goroutine body does not inherit the spawner's held set; its
+// own acquisition is a fresh critical section, and the WaitGroup
+// bounds its lifetime for goroleak.
+func (c *Counter) Spawn() {
+	var wg sync.WaitGroup
+	c.mu.Lock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.bump()
+	}()
+	c.mu.Unlock()
+	wg.Wait()
+}
+
+// Embedded promotes its mutex: s.Lock() resolves to the embedded
+// sync.Mutex field.
+type Embedded struct {
+	sync.Mutex
+	n int
+}
+
+func (e *Embedded) reset() {
+	e.Lock()
+	defer e.Unlock()
+	e.n = 0
+}
+
+// bad: the promoted lock is reacquired through reset.
+func (e *Embedded) Clear() {
+	e.Lock()
+	defer e.Unlock()
+	e.reset() // want "self-deadlock"
+}
+
+// good: a reasoned allow for a reviewed ordering.
+func (p *Pair) Reviewed() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	//lint:allow lockorder AThenB is never called concurrently with this teardown path
+	p.a.Lock()
+	p.a.Unlock()
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/why-not-xai/emigre/client"
 	"github.com/why-not-xai/emigre/internal/obs"
+	"github.com/why-not-xai/emigre/internal/testleak"
 )
 
 func testConfig() Config {
@@ -256,6 +257,7 @@ func newLoadClient(t *testing.T, url string) *client.Client {
 // server to see the same request sequence — order, paths, bodies and
 // logical IDs — both times.
 func TestReplayReproducesRecordedSequence(t *testing.T) {
+	testleak.Check(t) // Run's worker pool must not outlive the run
 	cfg := testConfig()
 	cfg.Count = 40
 	reqs, err := Generate(cfg)
@@ -325,6 +327,7 @@ func TestReplayReproducesRecordedSequence(t *testing.T) {
 // TestRunRecordsOutcomes: statuses, latencies, degraded marks and
 // header tallies all land in the records.
 func TestRunRecordsOutcomes(t *testing.T) {
+	testleak.Check(t)
 	stub := &stubServer{}
 	ts := httptest.NewServer(stub.handler())
 	defer ts.Close()
@@ -361,6 +364,7 @@ func TestRunRecordsOutcomes(t *testing.T) {
 // TestRunOpenLoopPacing: open-loop dispatch honors scheduled offsets
 // (scaled by Speed) rather than firing everything at once.
 func TestRunOpenLoopPacing(t *testing.T) {
+	testleak.Check(t)
 	stub := &stubServer{}
 	ts := httptest.NewServer(stub.handler())
 	defer ts.Close()

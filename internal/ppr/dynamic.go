@@ -128,17 +128,17 @@ func (d *DynamicForwardPush) push(ctx context.Context) error {
 	alpha := d.params.Alpha
 	eps := d.params.Epsilon
 	n := d.view.NumNodes()
-	queue := make([]hin.NodeID, 0, 64)
+	queue := newNodeQueue(n)
 	inQueue := make([]bool, n)
 	for v := range d.r {
 		if abs(d.r[v]) > eps {
-			queue = append(queue, hin.NodeID(v))
+			queue.push(hin.NodeID(v))
 			inQueue[v] = true
 		}
 	}
 	csr, _ := d.view.(OutSliceView)
 	steps := 0
-	for len(queue) > 0 {
+	for !queue.empty() {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctxErr(ctx); err != nil {
 				return err
@@ -148,8 +148,7 @@ func (d *DynamicForwardPush) push(ctx context.Context) error {
 			}
 		}
 		steps++
-		v := queue[0]
-		queue = queue[1:]
+		v := queue.pop()
 		inQueue[v] = false
 		rv := d.r[v]
 		if abs(rv) <= eps {
@@ -166,7 +165,7 @@ func (d *DynamicForwardPush) push(ctx context.Context) error {
 		visit := func(h hin.HalfEdge) bool {
 			d.r[h.Node] += scale * h.Weight
 			if abs(d.r[h.Node]) > eps && !inQueue[h.Node] {
-				queue = append(queue, h.Node)
+				queue.push(h.Node)
 				inQueue[h.Node] = true
 			}
 			return true

@@ -81,16 +81,16 @@ func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) 
 	r := make(Vector, n)
 	r[s] = 1
 
-	queue := make([]hin.NodeID, 0, 64)
+	queue := newNodeQueue(n)
 	inQueue := make([]bool, n)
-	queue = append(queue, s)
+	queue.push(s)
 	inQueue[s] = true
 	pushes := 0
 
 	csr, _ := g.(OutSliceView) // fast path: direct slice iteration
 
 	steps := 0
-	for len(queue) > 0 {
+	for !queue.empty() {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
@@ -100,8 +100,7 @@ func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) 
 			}
 		}
 		steps++
-		v := queue[0]
-		queue = queue[1:]
+		v := queue.pop()
 		inQueue[v] = false
 		rv := r[v]
 		if rv <= eps {
@@ -119,7 +118,7 @@ func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) 
 			for _, h := range csr.OutSlice(v) {
 				r[h.Node] += scale * h.Weight
 				if r[h.Node] > eps && !inQueue[h.Node] {
-					queue = append(queue, h.Node)
+					queue.push(h.Node)
 					inQueue[h.Node] = true
 				}
 			}
@@ -128,7 +127,7 @@ func (e *ForwardPush) RunContext(ctx context.Context, g hin.View, s hin.NodeID) 
 		g.OutEdges(v, func(h hin.HalfEdge) bool {
 			r[h.Node] += scale * h.Weight
 			if r[h.Node] > eps && !inQueue[h.Node] {
-				queue = append(queue, h.Node)
+				queue.push(h.Node)
 				inQueue[h.Node] = true
 			}
 			return true

@@ -1,0 +1,40 @@
+package ppr
+
+import "github.com/why-not-xai/emigre/internal/hin"
+
+// nodeQueue is the FIFO work queue of the push loops: a fixed-capacity
+// ring over the nodes of one graph. The engines enqueue a node only
+// when its inQueue mark is clear, so at most n nodes are ever live and
+// the ring (n+1 slots to tell full from empty) never reallocates —
+// the previous slice queue popped by reslicing, which burned its
+// capacity from the front and made append reallocate in the inner
+// loop. One setup allocation, zero per push; TestForwardPushAllocsConstant
+// and the ESCAPES.json gate hold it there.
+type nodeQueue struct {
+	ring []hin.NodeID
+	head int
+	tail int
+}
+
+func newNodeQueue(n int) nodeQueue {
+	return nodeQueue{ring: make([]hin.NodeID, n+1)}
+}
+
+func (q *nodeQueue) empty() bool { return q.head == q.tail }
+
+func (q *nodeQueue) push(v hin.NodeID) {
+	q.ring[q.tail] = v
+	q.tail++
+	if q.tail == len(q.ring) {
+		q.tail = 0
+	}
+}
+
+func (q *nodeQueue) pop() hin.NodeID {
+	v := q.ring[q.head]
+	q.head++
+	if q.head == len(q.ring) {
+		q.head = 0
+	}
+	return v
+}

@@ -72,16 +72,16 @@ func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) 
 	r := make(Vector, n)
 	r[t] = 1
 
-	queue := make([]hin.NodeID, 0, 64)
+	queue := newNodeQueue(n)
 	inQueue := make([]bool, n)
-	queue = append(queue, t)
+	queue.push(t)
 	inQueue[t] = true
 	pushes := 0
 
 	csr, _ := g.(*hin.CSR) // fast path: direct slice iteration
 
 	steps := 0
-	for len(queue) > 0 {
+	for !queue.empty() {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
@@ -91,8 +91,7 @@ func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) 
 			}
 		}
 		steps++
-		v := queue[0]
-		queue = queue[1:]
+		v := queue.pop()
 		inQueue[v] = false
 		rv := r[v]
 		if rv <= eps {
@@ -109,7 +108,7 @@ func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) 
 				}
 				r[h.Node] += (1 - alpha) * rv * h.Weight / total
 				if r[h.Node] > eps && !inQueue[h.Node] {
-					queue = append(queue, h.Node)
+					queue.push(h.Node)
 					inQueue[h.Node] = true
 				}
 			}
@@ -124,7 +123,7 @@ func (e *ReversePush) RunContext(ctx context.Context, g hin.View, t hin.NodeID) 
 			}
 			r[h.Node] += (1 - alpha) * rv * h.Weight / total
 			if r[h.Node] > eps && !inQueue[h.Node] {
-				queue = append(queue, h.Node)
+				queue.push(h.Node)
 				inQueue[h.Node] = true
 			}
 			return true

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/why-not-xai/emigre/internal/testleak"
 )
 
 // TestExplainDeadline504 maps an expired search deadline to 504: with a
@@ -206,6 +208,7 @@ func TestReadyzDraining(t *testing.T) {
 // listener: a request in flight when Shutdown starts still gets its
 // response, and Shutdown returns cleanly once it is delivered.
 func TestGracefulDrain(t *testing.T) {
+	testleak.Check(t)
 	srv, _ := newTestServer(t)
 	inHandler := make(chan struct{})
 	srv.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +264,7 @@ func TestGracefulDrain(t *testing.T) {
 // TestConcurrentExplains: several simultaneous explanations on the
 // shared server must all succeed (run with -race to check the engines).
 func TestConcurrentExplains(t *testing.T) {
+	testleak.Check(t)
 	srv, _ := newTestServerCfg(t, func(c *Config) {
 		c.MaxConcurrent = 4
 		c.QueueDepth = 16

@@ -1,0 +1,70 @@
+package testleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCleanTestPasses spawns a bounded goroutine and checks the diff
+// comes back empty once it exits.
+func TestCleanTestPasses(t *testing.T) {
+	before := snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	deadline := time.Now().Add(retryFor)
+	for {
+		if leaked := leakedSince(before, nil); len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bounded goroutine still reported leaked: %v", leakedSince(before, nil))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLeakIsDetected parks a goroutine past the snapshot diff and
+// checks it is reported, then releases it. The retry loop is bypassed
+// by calling leakedSince directly — waiting retryFor for a goroutine
+// we know is parked would just slow the suite.
+func TestLeakIsDetected(t *testing.T) {
+	before := snapshot()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+	leaked := leakedSince(before, nil)
+	if len(leaked) != 1 {
+		t.Fatalf("leaked = %d stacks, want 1:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "testleak.TestLeakIsDetected") {
+		t.Errorf("leaked stack does not name the spawner:\n%s", leaked[0])
+	}
+	// The same stack must be suppressible via extraAllow.
+	if rem := leakedSince(before, []string{"TestLeakIsDetected"}); len(rem) != 0 {
+		t.Errorf("extraAllow did not suppress the stack: %v", rem)
+	}
+	close(block)
+}
+
+// TestCheckIntegration exercises the real Check/Cleanup path: the
+// subtest spawns a bounded goroutine and must pass.
+func TestCheckIntegration(t *testing.T) {
+	passed := t.Run("inner", func(t *testing.T) {
+		Check(t)
+		done := make(chan struct{})
+		go func() { close(done) }()
+		<-done
+	})
+	if !passed {
+		t.Error("clean subtest failed the leak check")
+	}
+}
