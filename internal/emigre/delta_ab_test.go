@@ -1,0 +1,183 @@
+package emigre
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/testleak"
+)
+
+// stripVariance zeroes the Explanation fields allowed to differ between
+// a delta-screened run and a full-recompute run: wall-clock and the
+// delta screen's own activity tallies. Everything else — the candidate
+// set, the verdicts behind it, Tests, CombosExamined — must match.
+func stripVariance(e Explanation) Explanation {
+	e.Stats.Duration = 0
+	e.Stats.DeltaScreened = 0
+	e.Stats.DeltaFallbacks = 0
+	return e
+}
+
+// TestDeltaABExplanationsIdentical is the acceptance A/B for the
+// warm-start CHECK screen: across modes × methods × worker counts,
+// DeltaCheck may only change how a rejection is computed, never which
+// candidate set is returned, what its stats say, or which error comes
+// back. The warm estimates carry a different (but ε-bounded) error than
+// a cold push, so this is the test that the screen's verdict rule and
+// its static pass confirmation together preserve exact output equality.
+func TestDeltaABExplanationsIdentical(t *testing.T) {
+	testleak.Check(t)
+	for _, mode := range []Mode{Remove, Add, Combined, Reweight} {
+		for _, method := range allMethods(mode) {
+			cold := newFixture(t, Options{Mode: mode, Method: method})
+			want, errW := cold.ex.Explain(cold.query())
+			for _, workers := range []int{0, 2, 4} {
+				warm := newFixture(t, Options{
+					Mode: mode, Method: method, DeltaCheck: true, Parallelism: workers,
+				})
+				got, errG := warm.ex.Explain(warm.query())
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("%v/%v w=%d: cold err=%v delta err=%v", mode, method, workers, errW, errG)
+				}
+				if errW != nil {
+					if errW.Error() != errG.Error() {
+						t.Fatalf("%v/%v w=%d: error mismatch:\ncold: %q\ndelta: %q",
+							mode, method, workers, errW, errG)
+					}
+					continue
+				}
+				w, g := stripVariance(*want), stripVariance(*got)
+				if !reflect.DeepEqual(&w, &g) {
+					t.Errorf("%v/%v w=%d: explanations diverge:\ncold: %+v\ndelta: %+v",
+						mode, method, workers, &w, &g)
+				}
+				if method != ExhaustiveDirect && got.Stats.Tests > 0 &&
+					got.Stats.DeltaScreened+got.Stats.DeltaFallbacks != got.Stats.Tests {
+					t.Errorf("%v/%v w=%d: %d checks but screened=%d fallbacks=%d",
+						mode, method, workers, got.Stats.Tests,
+						got.Stats.DeltaScreened, got.Stats.DeltaFallbacks)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaStatsDeterministicAcrossWorkers pins that the delta tallies
+// themselves — not just the explanation — are identical for any worker
+// count: the committer folds them in stream order for committed checks
+// only, exactly like Tests.
+func TestDeltaStatsDeterministicAcrossWorkers(t *testing.T) {
+	testleak.Check(t)
+	for _, method := range []Method{Powerset, BruteForce} {
+		seq := newFixture(t, Options{Mode: Remove, Method: method, DeltaCheck: true})
+		want, err := seq.ex.Explain(seq.query())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := newFixture(t, Options{
+				Mode: Remove, Method: method, DeltaCheck: true, Parallelism: workers,
+			})
+			got, err := par.ex.Explain(par.query())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, g := *want, *got
+			w.Stats.Duration, g.Stats.Duration = 0, 0
+			if !reflect.DeepEqual(&w, &g) {
+				t.Errorf("%v w=%d: stats diverge from sequential:\nseq: %+v\npar: %+v",
+					method, workers, w.Stats, g.Stats)
+			}
+		}
+	}
+}
+
+// TestDeltaFallbackOnLargeEditSets forces the DeltaMaxEdits guard: with
+// a cap of one weight change, every multi-candidate set the brute-force
+// stream reaches (a pair = two changes) must take the full-recompute
+// fallback. The u→f3 query has no removal explanation, so the stream
+// exhausts all 7 subsets of |A|=3 — three screened singles, four
+// fallback multi-sets — and the delta run must report the exact
+// exhaustion error of the cold run. Screen/fallback participation is
+// read off the process-global obs counters because a no-explanation
+// result carries no Stats.
+func TestDeltaFallbackOnLargeEditSets(t *testing.T) {
+	cold := newFixture(t, Options{})
+	q := Query{User: cold.ids["u"], WNI: cold.ids["f3"]}
+	_, errW := cold.ex.ExplainWith(q, Remove, BruteForce)
+	if errW == nil {
+		t.Fatal("fixture unexpectedly found a removal explanation for f3")
+	}
+	warm := newFixture(t, Options{DeltaCheck: true, DeltaMaxEdits: 1})
+	screens0, fallbacks0 := deltaScreens.Value(), deltaFallbacksC.Value()
+	_, errG := warm.ex.ExplainWith(q, Remove, BruteForce)
+	if errG == nil || errW.Error() != errG.Error() {
+		t.Fatalf("error mismatch:\ncold: %v\ndelta: %v", errW, errG)
+	}
+	screens := deltaScreens.Value() - screens0
+	fallbacks := deltaFallbacksC.Value() - fallbacks0
+	if screens != 3 || fallbacks != 4 {
+		t.Fatalf("screens=%d fallbacks=%d, want 3 screened singles and 4 fallback multi-sets", screens, fallbacks)
+	}
+}
+
+// TestDeltaDynamicPrecedence pins the documented precedence: with both
+// options set, the serial dynamic-push path runs and the delta screen
+// stays cold (no base fetch, no screen tallies, sequential evaluator).
+func TestDeltaDynamicPrecedence(t *testing.T) {
+	f := newFixture(t, Options{
+		Mode: Remove, Method: Powerset, DeltaCheck: true, DynamicCheck: true, Parallelism: 4,
+	})
+	expl, err := f.ex.Explain(f.query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl.Stats.DeltaScreened != 0 || expl.Stats.DeltaFallbacks != 0 {
+		t.Fatalf("delta tallies %d/%d under DynamicCheck, want 0/0",
+			expl.Stats.DeltaScreened, expl.Stats.DeltaFallbacks)
+	}
+	if ps := f.ex.PipelineStats(); ps.ParallelRuns != 0 {
+		t.Fatalf("ParallelRuns = %d, want 0 (DynamicCheck forces sequential)", ps.ParallelRuns)
+	}
+}
+
+// TestDeltaScreenActuallyScreens guards against the screen silently
+// never engaging (which would make every A/B above pass trivially):
+// a standard Remove/Powerset search must resolve most of its checks on
+// warm estimates.
+func TestDeltaScreenActuallyScreens(t *testing.T) {
+	f := newFixture(t, Options{Mode: Remove, Method: Powerset, DeltaCheck: true})
+	expl, err := f.ex.Explain(f.query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl.Stats.Tests == 0 {
+		t.Skip("fixture found an explanation without CHECKs")
+	}
+	if expl.Stats.DeltaScreened == 0 {
+		t.Fatalf("stats = %+v: delta screen never engaged", expl.Stats)
+	}
+	if expl.Stats.DeltaFallbacks != 0 {
+		t.Fatalf("stats = %+v: single-candidate removals should never exceed DeltaMaxEdits", expl.Stats)
+	}
+}
+
+// TestDeltaVerifyAgrees runs the explainer's own Verify over a
+// delta-screened explanation: the verification CHECK re-runs cold, so
+// agreement here is an end-to-end soundness check on warm verdicts.
+func TestDeltaVerifyAgrees(t *testing.T) {
+	for _, mode := range []Mode{Remove, Add} {
+		f := newFixture(t, Options{Mode: mode, Method: Powerset, DeltaCheck: true, Parallelism: 2})
+		expl, err := f.ex.Explain(f.query())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := f.ex.Verify(expl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%v: delta-screened explanation failed cold verification: %+v", mode, expl)
+		}
+	}
+}

@@ -266,6 +266,29 @@ type Options struct {
 	// which is inherently a serial walk of the candidate stream.
 	DynamicCheck bool
 
+	// DeltaCheck accelerates the CHECK step with stateless warm-start
+	// pushes (ppr.ForwardPush.UpdateForEdit): the session fetches the
+	// user's full base push state — estimates AND residuals — once
+	// through the result cache, and every counterfactual CHECK repairs
+	// that shared immutable base at the user's edited row instead of
+	// re-running PPR from scratch, O(Δ) per check. Unlike DynamicCheck
+	// the base is never mutated, so DeltaCheck composes with
+	// Parallelism: each speculative worker warm-starts from the same
+	// base with its own scratch. Rejections are decided on the warm
+	// estimates; passes are confirmed with one static run, so returned
+	// explanations are exactly as sound as without the option. When a
+	// counterfactual's edit set exceeds DeltaMaxEdits the screen is
+	// skipped and the full recompute runs (Stats.DeltaFallbacks).
+	//
+	// DynamicCheck takes precedence when both options are set.
+	DeltaCheck bool
+
+	// DeltaMaxEdits caps the per-counterfactual edit-set size (total
+	// weight changes across edited rows) the delta screen will repair;
+	// larger edit sets fall back to the full recompute, whose cost the
+	// repair would approach anyway. Default 32.
+	DeltaMaxEdits int
+
 	// Parallelism is the number of CHECK evaluations run concurrently
 	// per query. The strategies emit their candidate sets as an ordered
 	// stream; with Parallelism > 1 a worker pool verifies sets
@@ -284,6 +307,7 @@ const (
 	DefaultMaxTests           = 2000
 	DefaultAddEdgeWeight      = 1.0
 	DefaultReweightTo         = 1.0
+	DefaultDeltaMaxEdits      = 32
 )
 
 func (o Options) withDefaults() Options {
@@ -304,6 +328,9 @@ func (o Options) withDefaults() Options {
 	}
 	if fmath.Eq(o.ReweightTo, 0) {
 		o.ReweightTo = DefaultReweightTo
+	}
+	if o.DeltaMaxEdits == 0 {
+		o.DeltaMaxEdits = DefaultDeltaMaxEdits
 	}
 	if o.TargetRank == 0 {
 		o.TargetRank = 1
@@ -326,8 +353,15 @@ type Stats struct {
 	// threshold filtering).
 	CombosExamined int
 	// Tests counts CHECK invocations (each one is a full PPR run on a
-	// counterfactual overlay).
+	// counterfactual overlay — or a warm-start repair under DeltaCheck).
 	Tests int
+	// DeltaScreened counts CHECKs evaluated by the warm-start delta
+	// screen (Options.DeltaCheck): rejections it decided outright plus
+	// passes it forwarded to the static confirmation run.
+	DeltaScreened int
+	// DeltaFallbacks counts CHECKs where the delta screen stepped aside
+	// for the full recompute (edit set larger than DeltaMaxEdits).
+	DeltaFallbacks int
 	// Duration is the wall-clock time of the Explain call.
 	Duration time.Duration
 }
@@ -617,6 +651,14 @@ type session struct {
 	// dyn is the lazily created dynamic-push state used when
 	// Options.DynamicCheck is set.
 	dyn *ppr.DynamicForwardPush
+	// base is the user's full forward push state over the unedited view,
+	// fetched once (through the result cache) when Options.DeltaCheck is
+	// active. Immutable and shared: every delta screen — sequential or
+	// on a pipeline worker — warm-starts from it with its own scratch.
+	base *ppr.PushResult
+	// dsc is the sequential evaluator's reusable delta scratch; pipeline
+	// workers allocate their own per goroutine.
+	dsc deltaScratch
 	// lastAttempt is the most recent candidate set submitted to CHECK,
 	// kept so an interrupted search can surface it as an unverified
 	// partial explanation (see CanceledError.Partial). Written by the
@@ -646,6 +688,19 @@ func (e *Explainer) newSession(ctx context.Context, q Query, mode Mode) (*sessio
 		return nil, fmt.Errorf("%w: node %d is not a recommendable item for user %d (Definition 4.1 requires an item the user has not interacted with)",
 			ErrNotWhyNotItem, q.WNI, q.User)
 	}
+	var base *ppr.PushResult
+	if e.deltaActive() {
+		// Fetch the base pair before the baseline recommendation: the
+		// result-level fill populates (or upgrades) the cache entry the
+		// RecommendContext below then hits, so the session still runs
+		// one full forward push in total. Without a cache this costs one
+		// extra push — DeltaCheck is built for the cached serving path.
+		var err error
+		base, err = e.r.ForwardResultContext(ctx, q.User)
+		if err != nil {
+			return nil, wrapCtxErr(err, Stats{})
+		}
+	}
 	current, err := e.r.RecommendContext(ctx, q.User)
 	if err != nil {
 		return nil, wrapCtxErr(err, Stats{})
@@ -662,7 +717,7 @@ func (e *Explainer) newSession(ctx context.Context, q Query, mode Mode) (*sessio
 			return nil, fmt.Errorf("%w: item %d already at rank %d ≤ target %d", ErrAlreadyTop, q.WNI, rank, k)
 		}
 	}
-	s := &session{ex: e, ctx: ctx, q: q, mode: mode, rec: current, view: e.r.Flat()}
+	s := &session{ex: e, ctx: ctx, q: q, mode: mode, rec: current, view: e.r.Flat(), base: base}
 	s.toRec, err = s.reverseColumn(current)
 	if err != nil {
 		return nil, wrapCtxErr(err, Stats{})
@@ -727,10 +782,37 @@ func (s *session) canceled() error {
 // recommender call with the session's partial stats.
 func (s *session) wrapCtx(err error) error { return wrapCtxErr(err, s.stats) }
 
+// deltaActive reports whether the warm-start delta screen runs for
+// this explainer's sessions. DynamicCheck takes precedence: its serial
+// repaired state subsumes the stateless screen.
+func (e *Explainer) deltaActive() bool {
+	return e.opts.DeltaCheck && !e.opts.DynamicCheck
+}
+
+// deltaScratch is one evaluator's reusable warm-start working set: the
+// push scratch plus the edited-row list. The session owns one for the
+// sequential path; each pipeline worker goroutine owns its own.
+type deltaScratch struct {
+	sc   ppr.UpdateScratch
+	rows []hin.NodeID
+}
+
+// deltaFlags records how the delta screen participated in one CHECK,
+// so the parallel committer can fold per-check outcomes into Stats in
+// stream order (worker-count-deterministic, like Tests).
+type deltaFlags struct {
+	// screened: the warm screen produced the verdict (a rejection) or
+	// forwarded a tentative pass to the static confirmation.
+	screened bool
+	// fallback: the edit set exceeded DeltaMaxEdits; full recompute ran.
+	fallback bool
+}
+
 // check is the paper's CHECK/TEST step with the session's sequential
 // bookkeeping: cancellation poll, CHECK budget, Tests tally, and the
-// optional dynamic-push fast rejection. The parallel pipeline performs
-// the same bookkeeping at commit time and calls checkOnce instead.
+// optional dynamic-push or delta-screen fast rejection. The parallel
+// pipeline performs the same bookkeeping at commit time and calls
+// checkOnce instead.
 func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 	if err := s.canceled(); err != nil {
 		return false, hin.InvalidNode, err
@@ -742,7 +824,7 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 		return false, hin.InvalidNode, budgetExhausted(s.stats.Tests)
 	}
 	s.stats.Tests++
-	r2, err := s.counterfactual(cands)
+	r2, o, err := s.counterfactual(cands)
 	if err != nil {
 		return false, hin.InvalidNode, err
 	}
@@ -758,6 +840,18 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 		}
 		// A dynamic PASS is confirmed with one static run so returned
 		// explanations stay sound even on tolerance-level near-ties.
+	} else if s.ex.deltaActive() {
+		ok, _, flags, err := s.deltaScreen(s.ctx, r2, o, &s.dsc)
+		if err != nil {
+			return false, hin.InvalidNode, s.wrapCtx(err)
+		}
+		s.tallyDelta(flags)
+		if flags.screened && !ok {
+			// Warm rejection: decided on the repaired estimates alone,
+			// no full PPR run. Passes fall through to the static
+			// confirmation below, mirroring DynamicCheck soundness.
+			return false, hin.InvalidNode, nil
+		}
 	}
 	ok, top, err := s.rankCheck(s.ctx, r2)
 	if err != nil {
@@ -766,31 +860,93 @@ func (s *session) check(cands []candidate) (bool, hin.NodeID, error) {
 	return ok, top, nil
 }
 
+// tallyDelta folds one CHECK's delta-screen outcome into the session
+// stats. The sequential evaluator calls it at check time; the parallel
+// committer calls it per committed job, in stream order.
+func (s *session) tallyDelta(flags deltaFlags) {
+	if flags.screened {
+		s.stats.DeltaScreened++
+	}
+	if flags.fallback {
+		s.stats.DeltaFallbacks++
+	}
+}
+
 // checkOnce is one stateless CHECK: overlay, patched recommender,
-// rank comparison. It performs no budget or Tests accounting, never
-// touches the session's dynamic-push state, and returns context errors
-// raw (the caller wraps them with the stats it has committed) — which
-// makes it safe to run from many pipeline workers at once. The shared
-// state it reads (graph, recommender snapshot, accept set, cache) is
-// read-only for the session's lifetime.
-func (s *session) checkOnce(ctx context.Context, cands []candidate) (bool, hin.NodeID, error) {
+// optional delta screen, rank comparison. It performs no budget or
+// Tests accounting, never touches the session's dynamic-push state,
+// and returns context errors raw (the caller wraps them with the stats
+// it has committed) — which makes it safe to run from many pipeline
+// workers at once. The shared state it reads (graph, recommender
+// snapshot, accept set, base push state, cache) is read-only for the
+// session's lifetime; dsc is the caller's own scratch (nil for an
+// uncached one-shot).
+func (s *session) checkOnce(ctx context.Context, cands []candidate, dsc *deltaScratch) (bool, hin.NodeID, deltaFlags, error) {
 	// The same CHECK seam the sequential path gates in check(): one
 	// failpoint hit per evaluation, whichever pipeline runs it.
 	if err := checkSite.Hit(ctx); err != nil {
-		return false, hin.InvalidNode, err
+		return false, hin.InvalidNode, deltaFlags{}, err
 	}
-	r2, err := s.counterfactual(cands)
+	r2, o, err := s.counterfactual(cands)
 	if err != nil {
-		return false, hin.InvalidNode, err
+		return false, hin.InvalidNode, deltaFlags{}, err
 	}
-	return s.rankCheck(ctx, r2)
+	var flags deltaFlags
+	if s.ex.deltaActive() {
+		if dsc == nil {
+			dsc = &deltaScratch{}
+		}
+		ok, _, f, err := s.deltaScreen(ctx, r2, o, dsc)
+		if err != nil {
+			return false, hin.InvalidNode, deltaFlags{}, err
+		}
+		flags = f
+		if flags.screened && !ok {
+			return false, hin.InvalidNode, flags, nil
+		}
+	}
+	ok, top, err := s.rankCheck(ctx, r2)
+	return ok, top, flags, err
+}
+
+// deltaScreen evaluates the counterfactual on warm-start estimates:
+// the overlay's edited rows are repaired against the session's shared
+// base push state and the verdict is read off the resulting estimate
+// vector — the same decision rule as dynamicCheck, but stateless, so
+// any number of workers can screen concurrently. Edit sets larger than
+// DeltaMaxEdits fall back (screened=false) to the full recompute.
+func (s *session) deltaScreen(ctx context.Context, r2 *rec.Recommender, o *hin.Overlay, dsc *deltaScratch) (bool, hin.NodeID, deltaFlags, error) {
+	edits := o.RowEdits()
+	changes := 0
+	for _, re := range edits {
+		changes += len(re.Changes)
+	}
+	if changes > s.ex.opts.DeltaMaxEdits {
+		recordDeltaFallback()
+		return false, hin.InvalidNode, deltaFlags{fallback: true}, nil
+	}
+	dsc.rows = dsc.rows[:0]
+	for _, re := range edits {
+		dsc.rows = append(dsc.rows, re.Node)
+	}
+	// The base pair was pushed over the unpatched scoring view (the
+	// β-mixed transition view, not the raw flat snapshot): pair it with
+	// the counterfactual's scoring view, which differs only at rows.
+	res, err := r2.WarmScoresContext(ctx, s.ex.r.ScoringView(), s.base, dsc.rows, &dsc.sc)
+	if err != nil {
+		return false, hin.InvalidNode, deltaFlags{}, err
+	}
+	ok, top := s.estimateVerdict(r2, res.Estimates)
+	recordDeltaScreen()
+	return ok, top, deltaFlags{screened: true}, nil
 }
 
 // counterfactual applies the candidate selection as an overlay and
 // binds the recommender to it. Counterfactuals only touch the user's
 // outgoing row, so the recommender scores over a one-row patch of its
-// flat snapshot instead of re-flattening the overlay.
-func (s *session) counterfactual(cands []candidate) (*rec.Recommender, error) {
+// flat snapshot instead of re-flattening the overlay; the overlay is
+// returned alongside so the delta screen can enumerate its row edits.
+func (s *session) counterfactual(cands []candidate) (*rec.Recommender, *hin.Overlay, error) {
 	removals, additions, reweights := splitOps(cands)
 	// A reweight is expressed as removing the typed edge and re-adding
 	// it with the counterfactual weight.
@@ -798,9 +954,9 @@ func (s *session) counterfactual(cands []candidate) (*rec.Recommender, error) {
 	additions = append(additions, reweights...)
 	o, err := hin.NewOverlay(s.ex.g, removals, additions)
 	if err != nil {
-		return nil, fmt.Errorf("emigre: building counterfactual overlay: %w", err)
+		return nil, nil, fmt.Errorf("emigre: building counterfactual overlay: %w", err)
 	}
-	return s.ex.r.WithUserPatch(o, s.q.User), nil
+	return s.ex.r.WithUserPatch(o, s.q.User), o, nil
 }
 
 // rankCheck re-runs the recommender over the counterfactual and reports
@@ -845,7 +1001,15 @@ func (s *session) dynamicCheck(r2 *rec.Recommender) (bool, hin.NodeID, error) {
 	if err := s.dyn.UpdateContext(s.ctx, view, s.q.User); err != nil {
 		return false, hin.InvalidNode, err
 	}
-	est := s.dyn.Estimates()
+	ok, top := s.estimateVerdict(r2, s.dyn.Estimates())
+	return ok, top, nil
+}
+
+// estimateVerdict reads a CHECK verdict off an estimate vector for the
+// patched recommender r2: the tolerance-ordered top candidate, and
+// whether an accepted item reaches the target rank. Shared by the
+// serial dynamic-push path and the stateless delta screen.
+func (s *session) estimateVerdict(r2 *rec.Recommender, est ppr.Vector) (bool, hin.NodeID) {
 	top := hin.InvalidNode
 	best := 0.0
 	for v := range est {
@@ -859,12 +1023,12 @@ func (s *session) dynamicCheck(r2 *rec.Recommender) (bool, hin.NodeID, error) {
 		}
 	}
 	if top == hin.InvalidNode {
-		return false, hin.InvalidNode, nil
+		return false, hin.InvalidNode
 	}
 	if k := s.ex.opts.TargetRank; k > 1 {
-		return s.dynamicRankAccepted(r2, est, k), top, nil
+		return s.dynamicRankAccepted(r2, est, k), top
 	}
-	return s.accepted(top), top, nil
+	return s.accepted(top), top
 }
 
 // dynamicRankAccepted reports whether any accepted item sits within the

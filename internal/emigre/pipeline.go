@@ -152,7 +152,11 @@ type checkDone struct {
 	checkJob
 	ok  bool
 	top hin.NodeID
-	err error
+	// flags records the delta screen's participation; the committer
+	// folds it into Stats only for committed verdicts, so the tallies
+	// stay identical across worker counts (like Tests).
+	flags deltaFlags
+	err   error
 }
 
 // genEnd reports the generator's exit: how many sets it yielded and the
@@ -186,6 +190,13 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker warm-start scratch: the delta screen repairs
+			// residuals into it, so it must never be shared across
+			// concurrently running checks.
+			var dsc *deltaScratch
+			if s.ex.deltaActive() {
+				dsc = &deltaScratch{}
+			}
 			for job := range jobs {
 				d := checkDone{checkJob: job}
 				switch {
@@ -198,7 +209,7 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 					d.err = pctx.Err()
 				default:
 					m.inflight.Add(1)
-					d.ok, d.top, d.err = runWorkerCheck(s, pctx, job.cands)
+					d.ok, d.top, d.flags, d.err = runWorkerCheck(s, pctx, job.cands, dsc)
 					m.inflight.Add(-1)
 				}
 				results <- d
@@ -257,11 +268,13 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 			decided = true
 		case d.ok:
 			committed++
+			s.tallyDelta(d.flags)
 			out.expl = s.found(d.cands, true, d.top)
 			finalCombos = d.combos
 			decided = true
 		default:
 			committed++
+			s.tallyDelta(d.flags)
 		}
 	}
 
@@ -344,16 +357,16 @@ func (s *session) runChecksParallel(workers int, gen checkStream) (pipelineOutco
 // so a panicking engine (or an armed panic failpoint) must become an
 // ordinary verdict error at the job's stream position instead of
 // killing the process.
-func runWorkerCheck(s *session, ctx context.Context, cands []candidate) (ok bool, top hin.NodeID, err error) {
+func runWorkerCheck(s *session, ctx context.Context, cands []candidate, dsc *deltaScratch) (ok bool, top hin.NodeID, flags deltaFlags, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			ok, top, err = false, hin.InvalidNode, fmt.Errorf("emigre: pipeline worker panicked: %v", p)
+			ok, top, flags, err = false, hin.InvalidNode, deltaFlags{}, fmt.Errorf("emigre: pipeline worker panicked: %v", p)
 		}
 	}()
 	if err := workerSite.Hit(ctx); err != nil {
-		return false, hin.InvalidNode, err
+		return false, hin.InvalidNode, deltaFlags{}, err
 	}
-	return s.checkOnce(ctx, cands)
+	return s.checkOnce(ctx, cands, dsc)
 }
 
 // pipelineMetrics aggregates explainer-lifetime pipeline counters.

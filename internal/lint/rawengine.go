@@ -11,20 +11,30 @@ import (
 // through the cache-identity helpers.
 var rawEnginePackages = map[string]bool{"emigre": true, "rec": true}
 
-// rawEngineMethods are the engine entry points that compute a vector.
+// rawEngineMethods are the engine entry points that compute a vector
+// or a full push state, including the warm-start ("delta") entry
+// points: UpdateForEdit must be reached through the routing helpers so
+// its base pair always comes from the cache, never from an ad-hoc raw
+// run alongside it.
 var rawEngineMethods = map[string]bool{
 	"FromSource":        true,
 	"FromSourceContext": true,
 	"ToTarget":          true,
 	"ToTargetContext":   true,
+	"Run":               true,
+	"RunContext":        true,
+	"UpdateForEdit":     true,
 }
 
 // rawEngineAllowedFuncs are the designated routing helpers — the only
 // declared functions allowed to invoke an engine raw (they do so as the
-// cache-miss compute path). Closures inside them inherit the approval.
+// cache-miss compute path, or as the warm-start resume over a
+// cache-fetched base). Closures inside them inherit the approval.
 var rawEngineAllowedFuncs = map[string]bool{
-	"reverseColumn": true, // internal/emigre: cached PPR(·,t) columns
-	"ScoresContext": true, // internal/rec: cached PPR(u,·) rows
+	"reverseColumn":        true, // internal/emigre: cached PPR(·,t) columns
+	"ScoresContext":        true, // internal/rec: cached PPR(u,·) rows
+	"ForwardResultContext": true, // internal/rec: cached full push states
+	"WarmScoresContext":    true, // internal/rec: warm-start resume from a cached base
 }
 
 // RawEngine enforces the cache-routing invariant of the pprcache PR:

@@ -29,3 +29,9 @@ func (s *session) worker(ts []int) []ppr.Vector {
 	}
 	return out
 }
+
+// bad: a speculative worker warm-starting its own delta check straight
+// off the engine sidesteps the cached base pair the session fetched.
+func (s *session) deltaCheck(base *ppr.PushResult, rows []int) *ppr.PushResult {
+	return ppr.NewForwardPush().UpdateForEdit(base, rows) // want "cache"
+}

@@ -13,3 +13,16 @@ func (*ReversePush) ToTarget(t int) Vector { return nil }
 type Engine interface {
 	FromSource(s int) Vector
 }
+
+type PushResult struct {
+	Estimates Vector
+	Residuals Vector
+}
+
+type ForwardPush struct{}
+
+func NewForwardPush() *ForwardPush { return &ForwardPush{} }
+
+func (*ForwardPush) RunContext(s int) *PushResult { return nil }
+
+func (*ForwardPush) UpdateForEdit(base *PushResult, rows []int) *PushResult { return nil }

@@ -1,0 +1,363 @@
+package ppr
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/why-not-xai/emigre/internal/fault"
+	"github.com/why-not-xai/emigre/internal/fmath"
+	"github.com/why-not-xai/emigre/internal/hin"
+)
+
+// This file is the warm-start ("delta-PPR") entry point of the static
+// push engines: given a completed base PushResult over one view and a
+// new view that differs only in the outgoing rows of a known node set,
+// UpdateForEdit repairs the push invariant at the edited rows and
+// resumes the push loop over the perturbation only — O(Δ) work instead
+// of a full O(push) recomputation. It is the stateless sibling of
+// DynamicForwardPush: the base state is never mutated, so any number
+// of concurrent callers can warm-start from one shared base result as
+// long as each brings its own UpdateScratch. EMiGRe's CHECK step uses
+// exactly this shape — every counterfactual differs from the base
+// graph in the query user's row alone — and hands one scratch to each
+// speculative pipeline worker.
+//
+// Update rules (Zhang, Lofgren & Goel, KDD'16; DESIGN.md §3.15). With
+// Z = α(I − (1−α)W)⁻¹ and ΔW = W′ − W supported on the edited rows:
+//
+//   - forward (row vector p ≈ PPR(s,·), invariant p = Zᵀ(e_s − r)):
+//     keeping p fixed, r′ = r + (1−α)/α · ΔWᵀ p re-establishes the
+//     invariant on W′; only the edited rows' out-neighborhood unions
+//     are touched, each scaled by the row's estimate p(u).
+//   - reverse (column p ≈ PPR(·,t), invariant Z(e_t − r) = p): keeping
+//     p fixed, r′ = r + (1−α)/α · ΔW p; (ΔW p)(x) is non-zero only at
+//     the edited rows x = u, so each row repairs a single residual by
+//     the inner product of its transition delta with the estimates.
+//
+// Residuals may turn negative after a repair; the push rule is linear
+// and applies unchanged (the signed loop drains |r| > ε).
+
+// UpdateScratch holds the reusable working set of UpdateForEdit calls:
+// estimate/residual copies, the push queue and marks, and the sparse
+// transition-delta accumulator. The zero value is ready to use; the
+// first call sizes it to the graph. A scratch must not be shared by
+// concurrent calls — give each worker its own.
+//
+// Results returned from UpdateForEdit alias the scratch buffers: they
+// are valid until the scratch's next use and must be copied for longer
+// retention (the CHECK path reads the verdict and moves on, so no copy
+// is ever made on the hot path).
+type UpdateScratch struct {
+	p, r    Vector
+	inQueue []bool
+	queue   nodeQueue
+	delta   deltaAcc
+}
+
+// ensure sizes the scratch for an n-node graph and clears the queue
+// state left by a previous (possibly canceled) run.
+func (sc *UpdateScratch) ensure(n int) {
+	if len(sc.p) != n {
+		sc.p = make(Vector, n)
+		sc.r = make(Vector, n)
+		sc.inQueue = make([]bool, n)
+		sc.queue = newNodeQueue(n)
+	} else {
+		for i := range sc.inQueue {
+			sc.inQueue[i] = false
+		}
+		sc.queue.head, sc.queue.tail = 0, 0
+	}
+	sc.delta.ensure(n)
+}
+
+// deltaAcc is a sparse signed accumulator over node IDs: a dense value
+// slice plus the touched-ID list, so repeated use never re-allocates
+// and reset is O(touched) — the slice-based replacement for the
+// per-call map the dynamic engine's transitionDelta used to allocate.
+type deltaAcc struct {
+	val     []float64
+	mark    []bool
+	touched []hin.NodeID
+}
+
+func (d *deltaAcc) ensure(n int) {
+	if len(d.val) != n {
+		d.val = make([]float64, n)
+		d.mark = make([]bool, n)
+		d.touched = d.touched[:0]
+	}
+}
+
+func (d *deltaAcc) add(y hin.NodeID, x float64) {
+	if !d.mark[y] {
+		d.mark[y] = true
+		d.touched = append(d.touched, y)
+	}
+	d.val[y] += x
+}
+
+// reset clears only the touched entries, keeping the buffers.
+func (d *deltaAcc) reset() {
+	for _, y := range d.touched {
+		d.val[y] = 0
+		d.mark[y] = false
+	}
+	d.touched = d.touched[:0]
+}
+
+// transitionDeltaInto accumulates W′(u,·) − W(u,·) into d over the
+// union of u's old and new out-neighborhoods, and sorts the touched
+// IDs ascending so every consumer iterates deterministically (the
+// same order a full residual scan would visit).
+func transitionDeltaInto(d *deltaAcc, oldView, newView hin.View, u hin.NodeID) {
+	if total := oldView.OutWeightSum(u); total > 0 {
+		oldView.OutEdges(u, func(h hin.HalfEdge) bool {
+			d.add(h.Node, -h.Weight/total)
+			return true
+		})
+	}
+	if total := newView.OutWeightSum(u); total > 0 {
+		newView.OutEdges(u, func(h hin.HalfEdge) bool {
+			d.add(h.Node, h.Weight/total)
+			return true
+		})
+	}
+	// Insertion sort: touched lists are O(row degree) and sort.Slice
+	// would allocate its closure on every repair.
+	for i := 1; i < len(d.touched); i++ {
+		for j := i; j > 0 && d.touched[j] < d.touched[j-1]; j-- {
+			d.touched[j], d.touched[j-1] = d.touched[j-1], d.touched[j]
+		}
+	}
+}
+
+// checkUpdateInputs validates the shared preconditions of the
+// warm-start entry points.
+func checkUpdateInputs(params Params, oldView, newView hin.View, base *PushResult) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	n := newView.NumNodes()
+	if oldView.NumNodes() != n {
+		return fmt.Errorf("ppr: warm-start update cannot change the node count (%d -> %d)",
+			oldView.NumNodes(), n)
+	}
+	if base == nil || len(base.Estimates) != n || len(base.Residuals) != n {
+		return fmt.Errorf("ppr: warm-start update requires a completed base push over the same %d nodes", n)
+	}
+	return nil
+}
+
+// UpdateForEdit warm-starts a forward push: base must be a completed
+// run of this engine from s over oldView, and newView must differ from
+// oldView only in the outgoing rows listed in rows. The residuals are
+// repaired at the edited rows' out-neighborhoods and the push loop
+// resumes over the perturbed mass only, restoring the ε contract on
+// newView — the returned estimates carry the same per-entry error
+// bound as a fresh RunContext over newView.
+//
+// base is never mutated; the result aliases sc's buffers (see
+// UpdateScratch). sc may be nil for one-shot use.
+func (e *ForwardPush) UpdateForEdit(ctx context.Context, oldView, newView hin.View, base *PushResult, rows []hin.NodeID, sc *UpdateScratch) (*PushResult, error) {
+	if err := checkUpdateInputs(e.Params, oldView, newView, base); err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = &UpdateScratch{}
+	}
+	n := newView.NumNodes()
+	sc.ensure(n)
+	copy(sc.p, base.Estimates)
+	copy(sc.r, base.Residuals)
+	alpha := e.Params.Alpha
+	eps := e.Params.Epsilon
+	for _, u := range rows {
+		if err := checkNode(newView, u); err != nil {
+			return nil, err
+		}
+		sc.delta.reset()
+		transitionDeltaInto(&sc.delta, oldView, newView, u)
+		scale := (1 - alpha) / alpha * sc.p[u]
+		if fmath.Eq(scale, 0) {
+			continue
+		}
+		for _, y := range sc.delta.touched {
+			sc.r[y] += scale * sc.delta.val[y]
+			if abs(sc.r[y]) > eps && !sc.inQueue[y] {
+				sc.queue.push(y)
+				sc.inQueue[y] = true
+			}
+		}
+	}
+	pushes, err := signedForwardPush(ctx, e.Params, newView, sc.p, sc.r, &sc.queue, sc.inQueue, updateLoopSite)
+	if err != nil {
+		return nil, err
+	}
+	res := &PushResult{Estimates: sc.p, Residuals: sc.r, Pushes: pushes}
+	recordPush(runsForwardUpdate, pushesForwardUpdate, residualMassForwardUpdate, res)
+	return res, nil
+}
+
+// UpdateForEdit warm-starts a reverse push: base must be a completed
+// run of this engine toward t over oldView, and newView must differ
+// from oldView only in the outgoing rows listed in rows. Each edited
+// row repairs exactly one residual — its own — by the inner product of
+// its transition delta with the base estimates; the signed reverse
+// loop then restores the ε contract on newView.
+//
+// base is never mutated; the result aliases sc's buffers (see
+// UpdateScratch). sc may be nil for one-shot use.
+func (e *ReversePush) UpdateForEdit(ctx context.Context, oldView, newView hin.View, base *PushResult, rows []hin.NodeID, sc *UpdateScratch) (*PushResult, error) {
+	if err := checkUpdateInputs(e.Params, oldView, newView, base); err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = &UpdateScratch{}
+	}
+	n := newView.NumNodes()
+	sc.ensure(n)
+	copy(sc.p, base.Estimates)
+	copy(sc.r, base.Residuals)
+	alpha := e.Params.Alpha
+	eps := e.Params.Epsilon
+	for _, u := range rows {
+		if err := checkNode(newView, u); err != nil {
+			return nil, err
+		}
+		sc.delta.reset()
+		transitionDeltaInto(&sc.delta, oldView, newView, u)
+		dot := 0.0
+		for _, y := range sc.delta.touched {
+			dot += sc.delta.val[y] * sc.p[y]
+		}
+		sc.r[u] += (1 - alpha) / alpha * dot
+		if abs(sc.r[u]) > eps && !sc.inQueue[u] {
+			sc.queue.push(u)
+			sc.inQueue[u] = true
+		}
+	}
+	pushes, err := signedReversePush(ctx, e.Params, newView, sc.p, sc.r, &sc.queue, sc.inQueue, updateLoopSite)
+	if err != nil {
+		return nil, err
+	}
+	res := &PushResult{Estimates: sc.p, Residuals: sc.r, Pushes: pushes}
+	recordPush(runsReverseUpdate, pushesReverseUpdate, residualMassReverseUpdate, res)
+	return res, nil
+}
+
+// signedForwardPush drains residuals above eps in absolute value over
+// view, updating p and r in place. The queue must be pre-seeded with
+// every node whose |r| exceeds eps (inQueue marking them); during the
+// drain new nodes enqueue as usual. Shared by the warm-start forward
+// update (updateLoopSite) and the dynamic engine's resume loop
+// (dynamicLoopSite), each gating its own failpoint.
+func signedForwardPush(ctx context.Context, params Params, view hin.View, p, r Vector, queue *nodeQueue, inQueue []bool, site *fault.Site) (int, error) {
+	alpha := params.Alpha
+	eps := params.Epsilon
+	csr, _ := view.(OutSliceView)
+	pushes := 0
+	steps := 0
+	for !queue.empty() {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return pushes, err
+			}
+			if err := site.Hit(ctx); err != nil {
+				return pushes, err
+			}
+		}
+		steps++
+		v := queue.pop()
+		inQueue[v] = false
+		rv := r[v]
+		if abs(rv) <= eps {
+			continue
+		}
+		r[v] = 0
+		p[v] += alpha * rv
+		pushes++
+		total := view.OutWeightSum(v)
+		if total <= 0 {
+			continue
+		}
+		scale := (1 - alpha) * rv / total
+		if csr != nil { // fast path inlined: the closure below escapes
+			for _, h := range csr.OutSlice(v) {
+				r[h.Node] += scale * h.Weight
+				if abs(r[h.Node]) > eps && !inQueue[h.Node] {
+					queue.push(h.Node)
+					inQueue[h.Node] = true
+				}
+			}
+			continue
+		}
+		view.OutEdges(v, func(h hin.HalfEdge) bool {
+			r[h.Node] += scale * h.Weight
+			if abs(r[h.Node]) > eps && !inQueue[h.Node] {
+				queue.push(h.Node)
+				inQueue[h.Node] = true
+			}
+			return true
+		})
+	}
+	return pushes, nil
+}
+
+// signedReversePush is signedForwardPush's reverse twin: mass flows
+// backward over incoming edges, each scaled by the *source's* outgoing
+// weight sum under the new view.
+func signedReversePush(ctx context.Context, params Params, view hin.View, p, r Vector, queue *nodeQueue, inQueue []bool, site *fault.Site) (int, error) {
+	alpha := params.Alpha
+	eps := params.Epsilon
+	csr, _ := view.(*hin.CSR)
+	pushes := 0
+	steps := 0
+	for !queue.empty() {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return pushes, err
+			}
+			if err := site.Hit(ctx); err != nil {
+				return pushes, err
+			}
+		}
+		steps++
+		v := queue.pop()
+		inQueue[v] = false
+		rv := r[v]
+		if abs(rv) <= eps {
+			continue
+		}
+		r[v] = 0
+		p[v] += alpha * rv
+		pushes++
+		if csr != nil { // fast path inlined: the closure below escapes
+			for _, h := range csr.InSlice(v) {
+				total := view.OutWeightSum(h.Node)
+				if total <= 0 {
+					continue
+				}
+				r[h.Node] += (1 - alpha) * rv * h.Weight / total
+				if abs(r[h.Node]) > eps && !inQueue[h.Node] {
+					queue.push(h.Node)
+					inQueue[h.Node] = true
+				}
+			}
+			continue
+		}
+		view.InEdges(v, func(h hin.HalfEdge) bool {
+			total := view.OutWeightSum(h.Node)
+			if total <= 0 {
+				return true
+			}
+			r[h.Node] += (1 - alpha) * rv * h.Weight / total
+			if abs(r[h.Node]) > eps && !inQueue[h.Node] {
+				queue.push(h.Node)
+				inQueue[h.Node] = true
+			}
+			return true
+		})
+	}
+	return pushes, nil
+}

@@ -3,6 +3,7 @@ package ppr
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"github.com/why-not-xai/emigre/internal/fmath"
 	"github.com/why-not-xai/emigre/internal/hin"
@@ -28,6 +29,14 @@ type DynamicForwardPush struct {
 	view   hin.View
 	source hin.NodeID
 	p, r   Vector
+	// Reusable push scratch: the work queue, its membership marks and
+	// the sparse transition-delta accumulator live on the state so the
+	// update path allocates nothing per call (TestDynamicUpdateAllocs
+	// pins this; the ESCAPES.json gate watches the escape sites).
+	queue   nodeQueue
+	inQueue []bool
+	delta   deltaAcc
+	rowBuf  [1]hin.NodeID
 	// UpdatePushes accumulates the pushes performed by Update calls,
 	// for ablation reporting.
 	UpdatePushes int
@@ -46,13 +55,18 @@ func NewDynamicForwardPushContext(ctx context.Context, params Params, g hin.View
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicForwardPush{
-		params: params,
-		view:   g,
-		source: s,
-		p:      res.Estimates,
-		r:      res.Residuals,
-	}, nil
+	n := g.NumNodes()
+	d := &DynamicForwardPush{
+		params:  params,
+		view:    g,
+		source:  s,
+		p:       res.Estimates,
+		r:       res.Residuals,
+		queue:   newNodeQueue(n),
+		inQueue: make([]bool, n),
+	}
+	d.delta.ensure(n)
+	return d, nil
 }
 
 // Estimates returns the current estimate vector. It approximates the
@@ -73,117 +87,58 @@ func (d *DynamicForwardPush) Update(newView hin.View, u hin.NodeID) error {
 // A canceled update leaves the residual repair applied but the push
 // incomplete; the state must not be reused after a cancellation error.
 func (d *DynamicForwardPush) UpdateContext(ctx context.Context, newView hin.View, u hin.NodeID) error {
+	d.rowBuf[0] = u
+	return d.UpdateForEdit(ctx, newView, d.rowBuf[:])
+}
+
+// UpdateForEdit rebinds the state to newView, which must differ from
+// the previous view only in the outgoing rows listed in rows, and
+// repairs the push invariant at each edited row before resuming the
+// push loop — the multi-row generalization of Update (rows of length
+// one is exactly Update). The same cancellation caveat applies: a
+// canceled call leaves the state unusable.
+func (d *DynamicForwardPush) UpdateForEdit(ctx context.Context, newView hin.View, rows []hin.NodeID) error {
 	if newView.NumNodes() != d.view.NumNodes() {
 		return fmt.Errorf("ppr: dynamic update cannot change the node count (%d -> %d)",
 			d.view.NumNodes(), newView.NumNodes())
 	}
-	if err := checkNode(newView, u); err != nil {
-		return err
-	}
-	delta := transitionDelta(d.view, newView, u)
-	scale := (1 - d.params.Alpha) / d.params.Alpha * d.p[u]
-	if !fmath.Eq(scale, 0) {
-		for y, dw := range delta {
-			d.r[y] += scale * dw
+	eps := d.params.Epsilon
+	for _, u := range rows {
+		if err := checkNode(newView, u); err != nil {
+			return err
+		}
+		d.delta.reset()
+		transitionDeltaInto(&d.delta, d.view, newView, u)
+		scale := (1 - d.params.Alpha) / d.params.Alpha * d.p[u]
+		if fmath.Eq(scale, 0) {
+			continue
+		}
+		// Only repaired entries can exceed ε: the previous drain left
+		// every residual at or below it, so seeding the queue from the
+		// touched set alone visits exactly the nodes a full scan would
+		// (the touched IDs are sorted, matching the scan order).
+		for _, y := range d.delta.touched {
+			d.r[y] += scale * d.delta.val[y]
+			if abs(d.r[y]) > eps && !d.inQueue[y] {
+				d.queue.push(y)
+				d.inQueue[y] = true
+			}
 		}
 	}
 	d.view = newView
-	before := d.UpdatePushes
-	if err := d.push(ctx); err != nil {
+	pushes, err := signedForwardPush(ctx, d.params, newView, d.p, d.r, &d.queue, d.inQueue, dynamicLoopSite)
+	d.UpdatePushes += pushes
+	if err != nil {
 		return err
 	}
 	dynamicUpdates.Inc()
-	pushesDynamic.Add(int64(d.UpdatePushes - before))
+	pushesDynamic.Add(int64(pushes))
 	return nil
 }
 
-// transitionDelta returns W′(u,·) − W(u,·) as a sparse map over the
-// union of u's old and new out-neighborhoods.
-func transitionDelta(oldView, newView hin.View, u hin.NodeID) map[hin.NodeID]float64 {
-	delta := make(map[hin.NodeID]float64)
-	if total := oldView.OutWeightSum(u); total > 0 {
-		oldView.OutEdges(u, func(h hin.HalfEdge) bool {
-			delta[h.Node] -= h.Weight / total
-			return true
-		})
-	}
-	if total := newView.OutWeightSum(u); total > 0 {
-		newView.OutEdges(u, func(h hin.HalfEdge) bool {
-			delta[h.Node] += h.Weight / total
-			return true
-		})
-	}
-	for y, dw := range delta {
-		if fmath.Eq(dw, 0) {
-			delete(delta, y)
-		}
-	}
-	return delta
-}
-
-// push drains residuals above the tolerance in absolute value. Unlike
-// the static loop, residuals may be negative after a repair; the push
-// rule is linear, so it applies unchanged.
-func (d *DynamicForwardPush) push(ctx context.Context) error {
-	alpha := d.params.Alpha
-	eps := d.params.Epsilon
-	n := d.view.NumNodes()
-	queue := newNodeQueue(n)
-	inQueue := make([]bool, n)
-	for v := range d.r {
-		if abs(d.r[v]) > eps {
-			queue.push(hin.NodeID(v))
-			inQueue[v] = true
-		}
-	}
-	csr, _ := d.view.(OutSliceView)
-	steps := 0
-	for !queue.empty() {
-		if steps%ctxCheckInterval == 0 {
-			if err := ctxErr(ctx); err != nil {
-				return err
-			}
-			if err := dynamicLoopSite.Hit(ctx); err != nil {
-				return err
-			}
-		}
-		steps++
-		v := queue.pop()
-		inQueue[v] = false
-		rv := d.r[v]
-		if abs(rv) <= eps {
-			continue
-		}
-		d.r[v] = 0
-		d.p[v] += alpha * rv
-		d.UpdatePushes++
-		total := d.view.OutWeightSum(v)
-		if total <= 0 {
-			continue
-		}
-		scale := (1 - alpha) * rv / total
-		visit := func(h hin.HalfEdge) bool {
-			d.r[h.Node] += scale * h.Weight
-			if abs(d.r[h.Node]) > eps && !inQueue[h.Node] {
-				queue.push(h.Node)
-				inQueue[h.Node] = true
-			}
-			return true
-		}
-		if csr != nil {
-			for _, h := range csr.OutSlice(v) {
-				visit(h)
-			}
-		} else {
-			d.view.OutEdges(v, visit)
-		}
-	}
-	return nil
-}
-
+// abs delegates to the math.Abs intrinsic (a single sign-bit clear):
+// a branching |x| mispredicts heavily inside the signed push loops,
+// where residual signs are effectively random.
 func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
+	return math.Abs(x)
 }

@@ -31,14 +31,18 @@ func residualMassHistogram(engine string) *obs.Histogram {
 }
 
 var (
-	runsForward    = runsCounter("forward_push")
-	runsReverse    = runsCounter("reverse_push")
-	runsPower      = runsCounter("power")
-	runsMonteCarlo = runsCounter("monte_carlo")
+	runsForward       = runsCounter("forward_push")
+	runsReverse       = runsCounter("reverse_push")
+	runsPower         = runsCounter("power")
+	runsMonteCarlo    = runsCounter("monte_carlo")
+	runsForwardUpdate = runsCounter("forward_update")
+	runsReverseUpdate = runsCounter("reverse_update")
 
-	pushesForward = pushesCounter("forward_push")
-	pushesReverse = pushesCounter("reverse_push")
-	pushesDynamic = pushesCounter("dynamic")
+	pushesForward       = pushesCounter("forward_push")
+	pushesReverse       = pushesCounter("reverse_push")
+	pushesDynamic       = pushesCounter("dynamic")
+	pushesForwardUpdate = pushesCounter("forward_update")
+	pushesReverseUpdate = pushesCounter("reverse_update")
 
 	powerIterations = obs.Default().Counter("emigre_ppr_iterations_total",
 		"Power-iteration sweeps (each O(E)) across both directions.")
@@ -47,8 +51,10 @@ var (
 	dynamicUpdates = obs.Default().Counter("emigre_ppr_dynamic_updates_total",
 		"Dynamic forward-push incremental updates applied.")
 
-	residualMassForward = residualMassHistogram("forward_push")
-	residualMassReverse = residualMassHistogram("reverse_push")
+	residualMassForward       = residualMassHistogram("forward_push")
+	residualMassReverse       = residualMassHistogram("reverse_push")
+	residualMassForwardUpdate = residualMassHistogram("forward_update")
+	residualMassReverseUpdate = residualMassHistogram("reverse_update")
 )
 
 // recordPush tallies one completed static push run.

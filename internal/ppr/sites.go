@@ -14,4 +14,5 @@ var (
 	powerSweepSite  = fault.Register("ppr.power.sweep")
 	mcWalkSite      = fault.Register("ppr.montecarlo.walk")
 	dynamicLoopSite = fault.Register("ppr.dynamic.loop")
+	updateLoopSite  = fault.Register("ppr.update.loop")
 )

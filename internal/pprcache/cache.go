@@ -92,6 +92,7 @@ type Cache struct {
 	evictions atomic.Int64
 	inflight  atomic.Int64
 	denied    atomic.Int64
+	upgrades  atomic.Int64
 }
 
 type shard struct {
@@ -102,22 +103,41 @@ type shard struct {
 	flights map[Key]*flight
 }
 
-// entry is one resident vector.
+// entry is one resident push result. Vector-only producers store a
+// result with nil Residuals — byte-for-byte the same charge as the
+// plain vector entries of earlier revisions — while full producers
+// (GetOrComputeResult) keep the residual pair resident so warm-start
+// consumers can resume pushes from it.
 type entry struct {
 	key  Key
-	vec  ppr.Vector
+	res  *ppr.PushResult
 	size int64
+}
+
+// full reports whether the entry carries the residual half of the push
+// state, i.e. can serve warm-start (GetResult) consumers.
+func (e *entry) full() bool { return e.res.Residuals != nil }
+
+// entrySize charges 8 bytes per resident float plus the bookkeeping
+// overhead; a vector-only entry costs exactly what it did before
+// residuals became storable.
+func entrySize(res *ppr.PushResult) int64 {
+	return int64(len(res.Estimates))*8 + int64(len(res.Residuals))*8 + entryOverhead
 }
 
 // flight is one in-progress computation that concurrent lookups of the
 // same key attach to. waiters is guarded by the owning shard's mutex;
 // the computation is canceled when it drops to zero so a result nobody
-// wants is not computed to completion.
+// wants is not computed to completion. full marks flights led by a
+// result-level caller: vector-level callers can join any flight, but a
+// result-level caller joining a vector-only flight waits it out and
+// then upgrades the resident entry.
 type flight struct {
 	done    chan struct{}
 	cancel  context.CancelFunc
 	waiters int
-	vec     ppr.Vector
+	full    bool
+	res     *ppr.PushResult
 	err     error
 }
 
@@ -175,6 +195,7 @@ func mix64(x uint64) uint64 {
 }
 
 // Get returns the cached vector for k without computing on a miss.
+// Vector-only and full entries both answer.
 func (c *Cache) Get(ctx context.Context, k Key) (ppr.Vector, bool) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
@@ -188,7 +209,33 @@ func (c *Cache) Get(ctx context.Context, k Key) (ppr.Vector, bool) {
 	}
 	c.hits.Add(1)
 	countRequest(ctx, true)
-	return el.Value.(*entry).vec, true
+	return el.Value.(*entry).res.Estimates, true
+}
+
+// GetResult returns the cached push result for k without computing on
+// a miss. Only full entries (residuals resident) answer: a vector-only
+// entry cannot serve a warm start and reports a miss here while still
+// answering Get.
+func (c *Cache) GetResult(ctx context.Context, k Key) (*ppr.PushResult, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	el, ok := sh.entries[k]
+	var e *entry
+	if ok {
+		e = el.Value.(*entry)
+		if !e.full() {
+			ok = false
+		} else {
+			sh.lru.MoveToFront(el)
+		}
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	countRequest(ctx, true)
+	return e.res, true
 }
 
 // GetOrCompute returns the vector for k, computing it with compute on a
@@ -213,18 +260,91 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, false, context.Cause(ctx)
+	// Resident fast path before the result-level wrapper is built: the
+	// wrapping closure heap-allocates, and a warm lookup must stay at
+	// zero allocations (TestWarmGetOrComputeZeroAlloc). getOrCompute
+	// re-checks residency under the same lock, so this is purely an
+	// optimization, not a second code path — including the cancellation
+	// poll, which warm hits must honor exactly like the shared loop.
+	if err := ctx.Err(); err != nil {
+		return nil, false, context.Cause(ctx)
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		vec := el.Value.(*entry).res.Estimates
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		countRequest(ctx, true)
+		return vec, true, nil
+	}
+	sh.mu.Unlock()
+	res, hit, err := c.lookupOrCompute(ctx, k, false, false, func(fctx context.Context) (*ppr.PushResult, error) {
+		vec, err := compute(fctx)
+		if err != nil {
+			return nil, err
+		}
+		return &ppr.PushResult{Estimates: vec}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return res.Estimates, hit, nil
+}
+
+// GetOrComputeResult is GetOrCompute at the push-result level: on a
+// miss, compute must return the full estimate/residual pair, which is
+// kept resident so later callers can warm-start incremental pushes
+// from it. A resident vector-only entry (stored by GetOrCompute) is
+// upgraded in place — compute runs once, the entry's residuals become
+// resident, and Stats.Upgrades tallies the promotion. Vector-level
+// callers share full entries and flights transparently.
+//
+// Cancellation, singleflight and hit-only semantics match GetOrCompute;
+// a hit-only caller is denied by a vector-only resident entry too,
+// since serving it would require a fill.
+//
+// The returned result is shared with other callers and must not be
+// mutated — warm starts hand it to ppr.UpdateForEdit, which copies.
+func (c *Cache) GetOrComputeResult(ctx context.Context, k Key, compute func(context.Context) (*ppr.PushResult, error)) (*ppr.PushResult, bool, error) {
+	return c.lookupOrCompute(ctx, k, true, true, compute)
+}
+
+// lookupOrCompute is the shared lookup/flight loop. full selects the
+// result-level contract: only entries and flights carrying residuals
+// answer, and leading a fill over a resident vector-only entry counts
+// as an upgrade rather than a miss. pollFirst is false when the caller
+// already ran the cancellation poll for this attempt (GetOrCompute's
+// resident fast path): every lookup must poll exactly once per attempt
+// — never zero, never twice — so that cold and warm calls present the
+// same cancellation points to deterministic poll-counting callers.
+func (c *Cache) lookupOrCompute(ctx context.Context, k Key, full, pollFirst bool, compute func(context.Context) (*ppr.PushResult, error)) (*ppr.PushResult, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for poll := pollFirst; ; poll = true {
+		if poll {
+			if err := ctx.Err(); err != nil {
+				return nil, false, context.Cause(ctx)
+			}
 		}
 		sh := c.shardFor(k)
 		sh.mu.Lock()
+		upgrade := false
 		if el, ok := sh.entries[k]; ok {
-			sh.lru.MoveToFront(el)
-			sh.mu.Unlock()
-			c.hits.Add(1)
-			countRequest(ctx, true)
-			return el.Value.(*entry).vec, true, nil
+			e := el.Value.(*entry)
+			if !full || e.full() {
+				sh.lru.MoveToFront(el)
+				sh.mu.Unlock()
+				c.hits.Add(1)
+				countRequest(ctx, true)
+				return e.res, true, nil
+			}
+			// Resident but vector-only and the caller needs residuals:
+			// fall through to the flight/fill logic below as an upgrade.
+			// The entry keeps serving vector-level callers meanwhile.
+			upgrade = true
 		}
 		if f, ok := sh.flights[k]; ok {
 			f.waiters++
@@ -233,7 +353,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 			// A collapsed wait is charged as a hit at the request level:
 			// no computation runs on this request's behalf.
 			countRequest(ctx, true)
-			vec, hit, err := c.wait(ctx, sh, f)
+			res, hit, err := c.wait(ctx, sh, f)
 			if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
 				// The flight was abandoned (every earlier waiter left and
 				// its computation was canceled) before this caller joined.
@@ -241,35 +361,46 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 				// to this live request: retry with a fresh flight.
 				continue
 			}
-			return vec, hit, err
+			if err == nil && full && !f.full {
+				// Joined a vector-only fill but residuals are needed: the
+				// vector entry is resident now, so retry — the next pass
+				// takes the upgrade path and leads a full fill.
+				continue
+			}
+			return res, hit, err
 		}
-		// A hit-only caller never leads a computation: a cold miss is
-		// answered with ErrCacheOnlyMiss before any fill starts.
+		// A hit-only caller never leads a computation: a cold miss — or a
+		// vector-only entry that would need a fill to serve residuals —
+		// is answered with ErrCacheOnlyMiss before any fill starts.
 		if HitOnly(ctx) {
 			sh.mu.Unlock()
 			c.denied.Add(1)
 			countRequest(ctx, false)
 			return nil, false, ErrCacheOnlyMiss
 		}
-		// Miss: this caller leads the computation. The compute context is
-		// detached from the leader's request (context.WithoutCancel keeps
-		// its values — tracing, request stats — but not its cancellation)
-		// so a canceled leader cannot poison the result for waiters that
-		// joined after it.
-		c.misses.Add(1)
+		// Miss (or upgrade): this caller leads the computation. The
+		// compute context is detached from the leader's request
+		// (context.WithoutCancel keeps its values — tracing, request
+		// stats — but not its cancellation) so a canceled leader cannot
+		// poison the result for waiters that joined after it.
+		if upgrade {
+			c.upgrades.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
 		countRequest(ctx, false)
 		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-		f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1, full: full}
 		sh.flights[k] = f
 		sh.mu.Unlock()
 		c.inflight.Add(1)
 		go func() {
-			vec, err := runFill(fctx, compute)
+			res, err := runFill(fctx, compute)
 			sh.mu.Lock()
-			f.vec, f.err = vec, err
+			f.res, f.err = res, err
 			delete(sh.flights, k)
 			if err == nil {
-				c.insertLocked(sh, k, vec)
+				c.insertLocked(sh, k, res)
 			}
 			sh.mu.Unlock()
 			c.inflight.Add(-1)
@@ -286,10 +417,10 @@ func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Co
 // panicking compute must resolve the flight with an error instead of
 // killing the process. Waiters observe the panic as an ordinary fill
 // error; nothing is inserted into the cache.
-func runFill(ctx context.Context, compute func(context.Context) (ppr.Vector, error)) (vec ppr.Vector, err error) {
+func runFill(ctx context.Context, compute func(context.Context) (*ppr.PushResult, error)) (res *ppr.PushResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			vec, err = nil, fmt.Errorf("pprcache: fill panicked: %v", p)
+			res, err = nil, fmt.Errorf("pprcache: fill panicked: %v", p)
 		}
 	}()
 	if err := fillSite.Hit(ctx); err != nil {
@@ -301,10 +432,10 @@ func runFill(ctx context.Context, compute func(context.Context) (ppr.Vector, err
 // wait blocks until the flight completes or ctx ends. The hit flag of
 // the return triple is always false: the value did not come from a
 // resident entry.
-func (c *Cache) wait(ctx context.Context, sh *shard, f *flight) (ppr.Vector, bool, error) {
+func (c *Cache) wait(ctx context.Context, sh *shard, f *flight) (*ppr.PushResult, bool, error) {
 	select {
 	case <-f.done:
-		return f.vec, false, f.err
+		return f.res, false, f.err
 	case <-ctx.Done():
 		sh.mu.Lock()
 		f.waiters--
@@ -320,18 +451,27 @@ func (c *Cache) wait(ctx context.Context, sh *shard, f *flight) (ppr.Vector, boo
 	}
 }
 
-// insertLocked adds a computed vector and enforces the shard budgets.
+// insertLocked adds a computed result and enforces the shard budgets.
 // The caller holds sh.mu.
-func (c *Cache) insertLocked(sh *shard, k Key, vec ppr.Vector) {
+func (c *Cache) insertLocked(sh *shard, k Key, res *ppr.PushResult) {
 	if el, ok := sh.entries[k]; ok {
-		// A concurrent writer (distinct flight after an eviction race)
-		// already resides; keep the resident entry.
+		e := el.Value.(*entry)
+		if res.Residuals != nil && !e.full() {
+			// Upgrade in place: the full result replaces the vector-only
+			// payload (and its byte charge) under the same LRU slot.
+			sh.bytes -= e.size
+			e.res = res
+			e.size = entrySize(res)
+			sh.bytes += e.size
+		}
+		// Otherwise a concurrent writer (distinct flight after an
+		// eviction race) already resides; keep the resident entry.
 		sh.lru.MoveToFront(el)
-		return
+	} else {
+		e := &entry{key: k, res: res, size: entrySize(res)}
+		sh.entries[k] = sh.lru.PushFront(e)
+		sh.bytes += e.size
 	}
-	e := &entry{key: k, vec: vec, size: int64(len(vec))*8 + entryOverhead}
-	sh.entries[k] = sh.lru.PushFront(e)
-	sh.bytes += e.size
 	for (sh.lru.Len() > c.entryBudget || sh.bytes > c.byteBudget) && sh.lru.Len() > 0 {
 		tail := sh.lru.Back()
 		victim := tail.Value.(*entry)
@@ -352,6 +492,7 @@ func (c *Cache) Stats() Stats {
 		Evictions: c.evictions.Load(),
 		Inflight:  c.inflight.Load(),
 		Denied:    c.denied.Load(),
+		Upgrades:  c.upgrades.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

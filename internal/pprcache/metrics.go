@@ -28,6 +28,8 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry) {
 		"Vector computations running right now.", c.inflight.Load)
 	reg.CounterFunc("emigre_pprcache_denied_fills_total",
 		"Cold misses refused under a hit-only context (degraded serving).", c.denied.Load)
+	reg.CounterFunc("emigre_pprcache_upgrades_total",
+		"Vector-only entries promoted to full push results for warm starts.", c.upgrades.Load)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		label := obs.L("shard", strconv.Itoa(i))

@@ -1,6 +1,11 @@
 // Package pprcache is a concurrency-safe, sharded LRU cache of PPR
-// vectors — the scoring substrate every recommendation and every
-// EMiGRe explanation bottoms out in. Under serving traffic the same
+// push state — the scoring substrate every recommendation and every
+// EMiGRe explanation bottoms out in. Entries hold a ppr.PushResult:
+// vector-level producers (GetOrCompute) store estimates only, while
+// result-level producers (GetOrComputeResult) keep the residual pair
+// resident so incremental "delta" CHECKs can warm-start pushes from a
+// cached base instead of recomputing from scratch. Under serving
+// traffic the same
 // forward vector is recomputed for every returning user and the same
 // reverse column for every popular item; PRINCE (Ghazimatin et al.,
 // WSDM'20) and the push framework of Zhang, Lofgren & Goel (KDD'16)
@@ -114,6 +119,10 @@ type Stats struct {
 	// Denied counts cold misses refused under a hit-only context
 	// (WithHitOnly) — the degradation ladder's cache-only rung at work.
 	Denied int64 `json:"denied"`
+	// Upgrades counts resident vector-only entries promoted to full
+	// push results by GetOrComputeResult (warm-start consumers needing
+	// residuals a vector-level producer did not keep).
+	Upgrades int64 `json:"upgrades"`
 }
 
 // RequestStats accumulates per-request cache activity. Attach one to a

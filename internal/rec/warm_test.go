@@ -1,0 +1,139 @@
+package rec
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/why-not-xai/emigre/internal/hin"
+	"github.com/why-not-xai/emigre/internal/ppr"
+	"github.com/why-not-xai/emigre/internal/pprcache"
+)
+
+// counterfactualShop binds a WithUserPatch recommender editing u1's row
+// (drop i1, add i4) alongside the base recommender.
+func counterfactualShop(t *testing.T, beta float64) (*Recommender, *Recommender, hin.NodeID) {
+	t.Helper()
+	g, cfg, ids := smallShop(t)
+	cfg.Beta = beta
+	r, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ids["u1"]
+	rated, _ := g.Types().LookupEdgeType("rated")
+	o, err := hin.NewOverlay(g,
+		[]hin.Edge{{From: u, To: ids["i1"], Type: rated, Weight: 1}},
+		[]hin.Edge{{From: u, To: ids["i4"], Type: rated, Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, r.WithUserPatch(o, u), u
+}
+
+func TestForwardResultContextCaches(t *testing.T) {
+	g, cfg, ids := smallShop(t)
+	r, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCache(pprcache.New(pprcache.Config{}))
+	ctx := context.Background()
+	u := ids["u1"]
+
+	res, err := r.ForwardResultContext(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residuals == nil {
+		t.Fatal("ForwardResultContext returned no residuals")
+	}
+	res2, err := r.ForwardResultContext(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Fatal("second call did not hit the shared resident result")
+	}
+	// The vector-level path shares the entry too.
+	vec, err := r.ScoresContext(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &vec[0] != &res.Estimates[0] {
+		t.Fatal("ScoresContext did not alias the resident full result")
+	}
+	s := r.Cache().Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("cache stats = %+v, want 1 miss / 2 hits", s)
+	}
+}
+
+func TestForwardResultContextUpgradesVectorEntry(t *testing.T) {
+	g, cfg, ids := smallShop(t)
+	r, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCache(pprcache.New(pprcache.Config{}))
+	ctx := context.Background()
+	u := ids["u2"]
+	if _, err := r.ScoresContext(ctx, u); err != nil { // vector-only fill
+		t.Fatal(err)
+	}
+	res, err := r.ForwardResultContext(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residuals == nil {
+		t.Fatal("upgrade returned no residuals")
+	}
+	if s := r.Cache().Stats(); s.Upgrades != 1 || s.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want 1 upgrade over 1 entry", s)
+	}
+}
+
+func TestForwardResultContextWithoutCache(t *testing.T) {
+	g, cfg, ids := smallShop(t)
+	r, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ForwardResultContext(context.Background(), ids["u1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Residuals == nil {
+		t.Fatalf("uncached result = %+v, want a full push state", res)
+	}
+}
+
+// TestWarmScoresMatchesColdScores is the facade-level delta contract:
+// warm-starting the patched recommender from the base recommender's
+// cached push state reproduces a cold recompute within the push
+// tolerance, for both the plain walk and the paper's β-mix.
+func TestWarmScoresMatchesColdScores(t *testing.T) {
+	for _, beta := range []float64{1, 0.5} {
+		base, patched, u := counterfactualShop(t, beta)
+		ctx := context.Background()
+		baseRes, err := base.ForwardResultContext(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc ppr.UpdateScratch
+		warm, err := patched.WarmScoresContext(ctx, base.ScoringView(), baseRes, []hin.NodeID{u}, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := patched.ScoresContext(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range cold {
+			if diff := math.Abs(cold[v] - warm.Estimates[v]); diff > 1e-6 {
+				t.Fatalf("beta=%g: score[%d] cold %g vs warm %g (diff %g)",
+					beta, v, cold[v], warm.Estimates[v], diff)
+			}
+		}
+	}
+}
