@@ -27,6 +27,18 @@ import (
 	"time"
 )
 
+const (
+	// bodyLimit caps how much of a response body one attempt decodes;
+	// real payloads are far smaller, and the cap keeps a misbehaving
+	// server from ballooning client memory.
+	bodyLimit = 1 << 20
+	// drainLimit bounds the pre-Close drain of leftover body bytes that
+	// keeps the keep-alive connection reusable. Bodies with more than
+	// this left over are abandoned: re-dialing is cheaper than reading
+	// them out.
+	drainLimit = 256 << 10
+)
+
 // Defaults used when the corresponding Config field is zero.
 const (
 	// DefaultMaxAttempts bounds one logical call: the first attempt plus
@@ -199,10 +211,12 @@ type ScoredItem struct {
 	Score float64 `json:"score"`
 }
 
-// RecommendResponse is the /recommend payload.
+// RecommendResponse is the /recommend payload. Field order matches the
+// server's wire order (alphabetical — it encodes via a map), so a
+// decode→re-encode round trip through the router is byte-identical.
 type RecommendResponse struct {
-	User  int64        `json:"user"`
 	Items []ScoredItem `json:"items"`
+	User  int64        `json:"user"`
 	// Meta carries wire metadata; not part of the JSON payload.
 	Meta Meta `json:"-"`
 }
@@ -215,12 +229,14 @@ type DiagnoseRequest struct {
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
 
-// DiagnoseResponse is the /diagnose payload.
+// DiagnoseResponse is the /diagnose payload. Field order matches the
+// server's wire order (alphabetical — it encodes via a map), so a
+// decode→re-encode round trip through the router is byte-identical.
 type DiagnoseResponse struct {
-	Kind   string `json:"kind"`
-	Detail string `json:"detail"`
 	// Actions is the number of past user actions Remove mode can edit.
 	Actions     int    `json:"actions"`
+	Detail      string `json:"detail"`
+	Kind        string `json:"kind"`
 	WorkingMode string `json:"working_mode"`
 	// Meta carries wire metadata; not part of the JSON payload.
 	Meta Meta `json:"-"`
@@ -349,8 +365,16 @@ func (c *Client) attempt(ctx context.Context, method, u, rid string, payload []b
 		}
 		return &transportError{err: err}
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// Drain whatever the read below left behind (bounded) before Close:
+	// a body closed with unread bytes forfeits the keep-alive
+	// connection, so every retry — and every router fan-out leg — would
+	// open a fresh TCP connection. Past drainLimit, dropping the
+	// connection is cheaper than reading an unbounded body to EOF.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+		resp.Body.Close()
+	}()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, bodyLimit))
 	if err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetriesReuseConnectionAfterOversizedErrorBody pins the keep-alive
+// contract the router's fan-out depends on: when an error response
+// carries more than bodyLimit bytes, the attempt must drain (bounded)
+// before Close so the retry reuses the same TCP connection. Pre-fix,
+// the unread tail forfeited the connection and every retry dialed
+// fresh — this test counts 3 connections instead of 1 on that code.
+func TestRetriesReuseConnectionAfterOversizedErrorBody(t *testing.T) {
+	pinJitter(t, 0)
+
+	// The 503 body overflows bodyLimit by less than drainLimit: the
+	// decoder stops at the limit, the drain finishes the tail, and the
+	// connection stays reusable.
+	big := bytes.Repeat([]byte("x"), bodyLimit+1024)
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write(big)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+
+	ts := httptest.NewUnstartedServer(h)
+	var conns atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	c, err := New(Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 503s then success)", got)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("retries opened %d connections, want 1 (keep-alive lost: error body not drained before Close)", got)
+	}
+}
+
+// TestOversizedBodyPastDrainLimitAbandonsConnection documents the other
+// side of the bound: when the unread tail exceeds drainLimit, the
+// client abandons the connection instead of reading an unbounded body,
+// so the retry dials fresh. That is a deliberate trade, not a leak.
+func TestOversizedBodyPastDrainLimitAbandonsConnection(t *testing.T) {
+	pinJitter(t, 0)
+
+	big := bytes.Repeat([]byte("x"), bodyLimit+drainLimit+1024)
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write(big)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+
+	ts := httptest.NewUnstartedServer(h)
+	var conns atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	c, err := New(Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready after retry: %v", err)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Fatalf("retry used %d connections, want 2 (tail past drainLimit abandons the connection)", got)
+	}
+}

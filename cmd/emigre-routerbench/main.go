@@ -1,0 +1,138 @@
+// Command emigre-routerbench merges a single-backend and a routed
+// multi-backend loadgen benchfmt file into the BENCH_router.json
+// scale-out baseline, and gates the merge on the scale-out contract:
+//
+//	emigre-routerbench -single /tmp/single.json -routed /tmp/routed.json \
+//	    -out BENCH_router.json -min-speedup 2.0 -max-error-delta 0.02
+//
+// Both inputs are emigre-loadgen -bench projections; the loadgen/total
+// result of each is lifted into router/1backend and router/3backends,
+// and their throughput ratio becomes router/speedup. The tool exits
+// nonzero when the routed topology is below -min-speedup times the
+// single-backend throughput, or when the two runs' error rates diverge
+// by more than -max-error-delta — "2x throughput at equal error rate"
+// fails loudly instead of silently committing a weaker baseline.
+//
+// Keeping the ratio as its own benchfmt result lets CI hold the
+// speedup tight with emigre-benchdiff (the ratio is machine-rate
+// independent) while the raw qps results carry a wide bound for
+// runner-speed variance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/why-not-xai/emigre/internal/load/benchfmt"
+)
+
+func main() {
+	var (
+		singlePath    = flag.String("single", "", "benchfmt file from the single-backend run")
+		routedPath    = flag.String("routed", "", "benchfmt file from the routed multi-backend run")
+		outPath       = flag.String("out", "", "write the merged benchfmt baseline here (default stdout)")
+		desc          = flag.String("desc", "emigre-router scale-out: identical closed-loop loadgen vs 1 backend direct and 3 backends through the router", "description for the merged file")
+		minSpeedup    = flag.Float64("min-speedup", 2.0, "fail when routed qps / single qps is below this")
+		maxErrorDelta = flag.Float64("max-error-delta", 0.02, "fail when |routed error_rate - single error_rate| exceeds this")
+	)
+	flag.Parse()
+	if *singlePath == "" || *routedPath == "" {
+		fmt.Fprintln(os.Stderr, "emigre-routerbench: -single and -routed are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	single, err := totalResult(*singlePath)
+	if err != nil {
+		fatal(err)
+	}
+	routed, err := totalResult(*routedPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	singleQPS := single.Metrics["qps"]
+	routedQPS := routed.Metrics["qps"]
+	if singleQPS <= 0 {
+		fatal(fmt.Errorf("single-backend run has qps %g; cannot form a speedup ratio", singleQPS))
+	}
+	speedup := routedQPS / singleQPS
+	errDelta := routed.Metrics["error_rate"] - single.Metrics["error_rate"]
+	if errDelta < 0 {
+		errDelta = -errDelta
+	}
+
+	out := &benchfmt.File{
+		Schema:      benchfmt.Schema,
+		Description: *desc,
+		Results: []benchfmt.Result{
+			lift("router/1backend", single),
+			lift("router/3backends", routed),
+			{
+				// A pure ratio: no iterations, so no ns/op — per-op time
+				// lives on the two topology results it was derived from.
+				Name: "router/speedup",
+				Metrics: map[string]float64{
+					"throughput": speedup,
+					"error_rate": errDelta,
+				},
+			},
+		},
+	}
+	data, err := benchfmt.Marshal(out)
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "routerbench: single %.1f qps, routed %.1f qps, speedup %.2fx, |error delta| %.4f\n",
+		singleQPS, routedQPS, speedup, errDelta)
+	if speedup < *minSpeedup {
+		fatal(fmt.Errorf("speedup %.2fx below required %.2fx", speedup, *minSpeedup))
+	}
+	if errDelta > *maxErrorDelta {
+		fatal(fmt.Errorf("error-rate delta %.4f exceeds allowed %.4f", errDelta, *maxErrorDelta))
+	}
+}
+
+// totalResult reads one loadgen benchfmt file and returns its
+// loadgen/total result.
+func totalResult(path string) (*benchfmt.Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := benchfmt.Read(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r := f.Result("loadgen/total")
+	if r == nil {
+		return nil, fmt.Errorf("%s: no loadgen/total result", path)
+	}
+	return r, nil
+}
+
+// lift renames a loadgen/total result into the merged namespace,
+// keeping throughput, error and central latency metrics (ns/op keeps
+// the committed file go-bench-normalizable) and dropping the tail
+// percentiles (machine noise in a scale-out baseline).
+func lift(name string, r *benchfmt.Result) benchfmt.Result {
+	out := benchfmt.Result{Name: name, Iterations: r.Iterations, Metrics: map[string]float64{}}
+	for _, m := range []string{"qps", "error_rate", "rate_503", "mean_us", "p95_us", "ns/op"} {
+		if v, ok := r.Metrics[m]; ok {
+			out.Metrics[m] = v
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emigre-routerbench:", err)
+	os.Exit(1)
+}

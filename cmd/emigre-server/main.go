@@ -68,6 +68,8 @@ func main() {
 			"PPR-vector cache capacity in bytes (0 = caching disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long to wait for in-flight requests on shutdown")
+		drainGrace = flag.Duration("drain-grace", server.DefaultDrainGrace,
+			"how long /readyz serves 503 while still accepting connections before the listener closes (give health probers at least one interval; 0 = immediate)")
 		noDegrade = flag.Bool("no-degrade", false,
 			"disable the degradation ladder: deadline-squeezed explanations 504 instead of stepping down to lean/cache-only/partial answers")
 		debugAddr = flag.String("debug-addr", "",
@@ -200,11 +202,8 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutdown signal received, draining (up to %v)", *drainTimeout)
-		srv.SetDraining()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown signal received, draining (readiness grace %v, then up to %v for in-flight work)", *drainGrace, *drainTimeout)
+		if err := server.DrainOrdered(srv, httpServer, *drainGrace, *drainTimeout); err != nil {
 			log.Fatalf("drain incomplete: %v", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

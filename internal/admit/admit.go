@@ -1,4 +1,11 @@
-package server
+// Package admit is the repo's weighted admission controller: a
+// weighted semaphore with a bounded FIFO wait queue and a load-aware
+// Retry-After estimate. It started life inside internal/server (PR 1)
+// gating explanation searches; it now also fronts the multi-backend
+// router (internal/router), so the overload policy — admit up to
+// capacity units, queue a bounded number of waiters, shed the rest
+// with ErrSaturated — is shared by every serving tier.
+package admit
 
 import (
 	"context"
@@ -11,22 +18,22 @@ import (
 	"github.com/why-not-xai/emigre/internal/obs"
 )
 
-// ErrSaturated is returned by admission.Acquire when both the
-// concurrency slots and the wait queue are full. The HTTP layer maps it
-// to 503 + Retry-After.
-var ErrSaturated = errors.New("server: saturated, try again later")
+// ErrSaturated is returned by Controller.Acquire when both the
+// concurrency slots and the wait queue are full. HTTP layers map it to
+// 503 + Retry-After.
+var ErrSaturated = errors.New("admit: saturated, try again later")
 
-// admission is a weighted semaphore with a bounded FIFO wait queue —
-// the server's overload policy. Capacity units model concurrent search
-// work (a group query costs more than a single-item one); at most
-// maxQueue requests may wait for units, and any request beyond that is
-// rejected immediately with ErrSaturated instead of piling up.
-type admission struct {
+// Controller is a weighted semaphore with a bounded FIFO wait queue —
+// an overload policy. Capacity units model concurrent work (a group
+// query costs more than a single-item one); at most maxQueue requests
+// may wait for units, and any request beyond that is rejected
+// immediately with ErrSaturated instead of piling up.
+type Controller struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
 	maxQueue int
-	waiters  []*admissionWaiter
+	waiters  []*waiter
 
 	// holdPerUnit is an EWMA (1/8 gain) of the observed hold time per
 	// admitted unit, fed by ReleaseObserved. It is the basis of the
@@ -36,13 +43,14 @@ type admission struct {
 	holdPerUnit float64 // nanoseconds per unit; 0 until the first sample
 
 	// Optional saturation counters (obs metrics are nil-safe, so a
-	// controller built without a registry records nothing). rejections
-	// counts Acquire calls shed with ErrSaturated; clamped counts
+	// controller built without a registry records nothing). Rejections
+	// counts Acquire calls shed with ErrSaturated; Clamped counts
 	// Acquire calls whose requested weight exceeded capacity and was
 	// silently clamped down — the signal that capacity is undersized
-	// for the workload's widest requests.
-	rejections *obs.Counter
-	clamped    *obs.Counter
+	// for the workload's widest requests. Set them (if at all) before
+	// the controller takes traffic.
+	Rejections *obs.Counter
+	Clamped    *obs.Counter
 }
 
 // Retry-After bounds: never tell a client to come back sooner than 1s
@@ -57,28 +65,28 @@ const (
 // a variable so tests can pin it.
 var retryAfterJitter = rand.Float64
 
-type admissionWaiter struct {
+type waiter struct {
 	n     int64
 	ready chan struct{}
 }
 
-// newAdmission builds a controller with the given capacity and wait
-// queue bound. maxQueue 0 means no queueing: a request either gets its
-// units immediately or is rejected.
-func newAdmission(capacity int64, maxQueue int) *admission {
+// New builds a controller with the given capacity and wait queue
+// bound. maxQueue 0 means no queueing: a request either gets its units
+// immediately or is rejected.
+func New(capacity int64, maxQueue int) *Controller {
 	if capacity < 1 {
 		capacity = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &admission{capacity: capacity, maxQueue: maxQueue}
+	return &Controller{capacity: capacity, maxQueue: maxQueue}
 }
 
 // clamp bounds a request's weight to [1, capacity] so every request is
 // satisfiable. Acquire and Release apply the same clamp, so callers can
 // pass the raw weight to both.
-func (a *admission) clamp(n int64) int64 {
+func (a *Controller) clamp(n int64) int64 {
 	if n < 1 {
 		n = 1
 	}
@@ -92,11 +100,11 @@ func (a *admission) clamp(n int64) int64 {
 // requests. It returns ErrSaturated without blocking when the wait
 // queue is full, and ctx.Err() when the context is done before units
 // become available.
-func (a *admission) Acquire(ctx context.Context, n int64) error {
+func (a *Controller) Acquire(ctx context.Context, n int64) error {
 	if n > a.capacity {
 		// Counted here and not in clamp: Release re-clamps the same raw
 		// weight, which must not double-count the event.
-		a.clamped.Inc()
+		a.Clamped.Inc()
 	}
 	n = a.clamp(n)
 	a.mu.Lock()
@@ -107,10 +115,10 @@ func (a *admission) Acquire(ctx context.Context, n int64) error {
 	}
 	if len(a.waiters) >= a.maxQueue {
 		a.mu.Unlock()
-		a.rejections.Inc()
+		a.Rejections.Inc()
 		return ErrSaturated
 	}
-	w := &admissionWaiter{n: n, ready: make(chan struct{})}
+	w := &waiter{n: n, ready: make(chan struct{})}
 	a.waiters = append(a.waiters, w)
 	a.mu.Unlock()
 
@@ -139,12 +147,12 @@ func (a *admission) Acquire(ctx context.Context, n int64) error {
 }
 
 // Release returns n units and wakes queued waiters that now fit.
-func (a *admission) Release(n int64) { a.ReleaseObserved(n, 0) }
+func (a *Controller) Release(n int64) { a.ReleaseObserved(n, 0) }
 
 // ReleaseObserved returns n units like Release and, when held > 0,
 // folds the observed hold time into the per-unit EWMA behind
 // RetryAfterSeconds.
-func (a *admission) ReleaseObserved(n int64, held time.Duration) {
+func (a *Controller) ReleaseObserved(n int64, held time.Duration) {
 	n = a.clamp(n)
 	a.mu.Lock()
 	a.used -= n
@@ -169,7 +177,7 @@ func (a *admission) ReleaseObserved(n int64, held time.Duration) {
 // times the backlog (admitted + queued units), spread over capacity,
 // with ±25% jitter so shed clients do not return in lockstep. The
 // result is clamped to [minRetryAfter, maxRetryAfter] seconds.
-func (a *admission) RetryAfterSeconds() int {
+func (a *Controller) RetryAfterSeconds() int {
 	a.mu.Lock()
 	per := a.holdPerUnit
 	backlog := a.used
@@ -195,14 +203,14 @@ func (a *admission) RetryAfterSeconds() int {
 }
 
 // Used returns the units currently admitted.
-func (a *admission) Used() int64 {
+func (a *Controller) Used() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.used
 }
 
 // QueueLen returns the number of requests waiting for admission.
-func (a *admission) QueueLen() int64 {
+func (a *Controller) QueueLen() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return int64(len(a.waiters))
@@ -211,7 +219,7 @@ func (a *admission) QueueLen() int64 {
 // grantLocked grants units to queued waiters in FIFO order, stopping at
 // the first one that does not fit (no overtaking, so wide requests
 // cannot starve).
-func (a *admission) grantLocked() {
+func (a *Controller) grantLocked() {
 	for len(a.waiters) > 0 {
 		w := a.waiters[0]
 		if a.used+w.n > a.capacity {

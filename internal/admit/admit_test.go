@@ -1,4 +1,4 @@
-package server
+package admit
 
 import (
 	"context"
@@ -11,7 +11,7 @@ import (
 )
 
 func TestAdmissionImmediateGrant(t *testing.T) {
-	a := newAdmission(2, 0)
+	a := New(2, 0)
 	if err := a.Acquire(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestAdmissionImmediateGrant(t *testing.T) {
 }
 
 func TestAdmissionClampsWideRequests(t *testing.T) {
-	a := newAdmission(2, 0)
+	a := New(2, 0)
 	// A request wider than capacity is clamped, not deadlocked.
 	if err := a.Acquire(context.Background(), 100); err != nil {
 		t.Fatal(err)
@@ -44,7 +44,7 @@ func TestAdmissionClampsWideRequests(t *testing.T) {
 }
 
 func TestAdmissionQueueBound(t *testing.T) {
-	a := newAdmission(1, 1)
+	a := New(1, 1)
 	if err := a.Acquire(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestAdmissionQueueBound(t *testing.T) {
 }
 
 func TestAdmissionWaiterHonorsContext(t *testing.T) {
-	a := newAdmission(1, 4)
+	a := New(1, 4)
 	if err := a.Acquire(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestAdmissionWaiterHonorsContext(t *testing.T) {
 // before a narrow one queued later, even though the narrow one would fit
 // sooner — otherwise group queries could starve forever.
 func TestAdmissionFIFONoOvertaking(t *testing.T) {
-	a := newAdmission(2, 4)
+	a := New(2, 4)
 	if err := a.Acquire(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestAdmissionFIFONoOvertaking(t *testing.T) {
 // TestAdmissionStress hammers the gate from many goroutines; run with
 // -race. The invariant: used never exceeds capacity.
 func TestAdmissionStress(t *testing.T) {
-	a := newAdmission(3, 64)
+	a := New(3, 64)
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {
 		n := int64(1 + i%3)
@@ -148,7 +148,7 @@ func TestAdmissionStress(t *testing.T) {
 	}
 }
 
-func waitForWaiters(t *testing.T, a *admission, n int) {
+func waitForWaiters(t *testing.T, a *Controller, n int) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
@@ -169,10 +169,10 @@ func waitForWaiters(t *testing.T, a *admission, n int) {
 // weight to both), but only Acquire counts the clamp — Release
 // re-clamping the same raw weight must not double-count the event.
 func TestAdmissionClampContract(t *testing.T) {
-	a := newAdmission(4, 0)
+	a := New(4, 0)
 	reg := obs.NewRegistry()
-	a.clamped = reg.Counter("emigre_admission_clamped_weights_total", "t")
-	a.rejections = reg.Counter("emigre_admission_rejections_total", "t")
+	a.Clamped = reg.Counter("emigre_admit_test_clamped_weights_total", "t")
+	a.Rejections = reg.Counter("emigre_admit_test_rejections_total", "t")
 
 	// Over-capacity weight: admitted, occupying exactly capacity units.
 	if err := a.Acquire(context.Background(), 9); err != nil {
@@ -181,7 +181,7 @@ func TestAdmissionClampContract(t *testing.T) {
 	if got := a.Used(); got != 4 {
 		t.Fatalf("Used = %d, want capacity 4 (clamped)", got)
 	}
-	if got := a.clamped.Value(); got != 1 {
+	if got := a.Clamped.Value(); got != 1 {
 		t.Fatalf("clamped counter = %d, want 1", got)
 	}
 
@@ -189,7 +189,7 @@ func TestAdmissionClampContract(t *testing.T) {
 	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("err = %v, want ErrSaturated", err)
 	}
-	if got := a.rejections.Value(); got != 1 {
+	if got := a.Rejections.Value(); got != 1 {
 		t.Fatalf("rejections counter = %d, want 1", got)
 	}
 
@@ -199,7 +199,7 @@ func TestAdmissionClampContract(t *testing.T) {
 	if got := a.Used(); got != 0 {
 		t.Fatalf("Used after release = %d, want 0", got)
 	}
-	if got := a.clamped.Value(); got != 1 {
+	if got := a.Clamped.Value(); got != 1 {
 		t.Fatalf("clamped counter after release = %d, want 1 (no double count)", got)
 	}
 
@@ -212,13 +212,13 @@ func TestAdmissionClampContract(t *testing.T) {
 	if got, want := a.Used(), int64(1); got != want {
 		t.Fatalf("Used = %d, want %d", got, want)
 	}
-	if got := a.clamped.Value(); got != 1 {
+	if got := a.Clamped.Value(); got != 1 {
 		t.Fatalf("clamped counter after sub-minimum acquire = %d, want 1", got)
 	}
 	a.Release(0)
 
 	// A controller without counters (nil obs metrics) keeps working.
-	bare := newAdmission(1, 0)
+	bare := New(1, 0)
 	if err := bare.Acquire(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}

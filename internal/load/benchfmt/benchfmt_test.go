@@ -34,6 +34,13 @@ func TestNormalizeCommittedBaselines(t *testing.T) {
 			t.Errorf("%s: no results", p)
 		}
 		for _, r := range f.Results {
+			// Iteration-less results are pure derived ratios (e.g.
+			// BENCH_router.json's router/speedup) — there is no per-op
+			// time to carry. Everything measured per-iteration must
+			// normalize with ns/op.
+			if r.Iterations == 0 {
+				continue
+			}
 			if _, ok := r.Metrics["ns/op"]; !ok {
 				t.Errorf("%s: result %s missing ns/op", filepath.Base(p), r.Name)
 			}

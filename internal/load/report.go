@@ -2,6 +2,7 @@ package load
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,6 +13,24 @@ import (
 
 // ReportSchema versions the JSON report document.
 const ReportSchema = "emigre/loadreport/v1"
+
+// minMeasurableS is the smallest wall-clock window a rate can be
+// computed from: latencies are recorded in whole microseconds, so a
+// window under a millisecond holds no meaningful throughput signal —
+// dividing by it manufactures absurd QPS from scheduler noise.
+const minMeasurableS = 1e-3
+
+// sanitizeDurationS maps a non-finite, negative, or sub-measurable
+// wall-clock window to exactly 0, so every rate derived from it is an
+// exact 0 instead of +Inf/NaN (which json.Marshal rejects outright) or
+// a nonsense rate from dividing by nanoseconds. Replaying an empty or
+// instant session hits this path.
+func sanitizeDurationS(d float64) float64 {
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < minMeasurableS {
+		return 0
+	}
+	return d
+}
 
 // Percentiles summarizes a latency distribution in microseconds. Exact
 // (not estimated): computed from the full per-request sample set.
@@ -122,6 +141,7 @@ func summarize(recs []*Record) *EndpointReport {
 // BuildReport folds per-request records and optional before/after
 // /metrics scrapes into a Report. durationS is the run's wall time.
 func BuildReport(recs []Record, before, after *obs.Exposition, durationS float64) *Report {
+	durationS = sanitizeDurationS(durationS)
 	rep := &Report{
 		Schema:    ReportSchema,
 		DurationS: durationS,
@@ -169,8 +189,12 @@ func (r *Report) ToBenchFmt(description string) *benchfmt.File {
 			"error_rate": float64(ep.Errors) / float64(ep.Count),
 			"rate_503":   ep.Rate503,
 		}
-		if r.DurationS > 0 {
-			m["qps"] = float64(ep.Count) / r.DurationS
+		// qps is always emitted, as an exact 0 when the window was too
+		// small to measure: omitting it would make benchfmt.Diff skip
+		// the metric and silently wave a broken run through the gate.
+		m["qps"] = 0
+		if d := sanitizeDurationS(r.DurationS); d > 0 {
+			m["qps"] = float64(ep.Count) / d
 		}
 		f.Results = append(f.Results, benchfmt.Result{
 			Name:       name,

@@ -1,0 +1,163 @@
+package router
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultProbeInterval is how often each backend's /readyz is polled.
+// It must be comfortably inside the server's -drain-grace window so a
+// draining backend is pulled from rotation before its listener closes.
+const DefaultProbeInterval = time.Second
+
+// defaultProbeTimeout bounds one readiness probe; /readyz is a local
+// atomic read server-side, so a slow probe means a sick backend.
+const defaultProbeTimeout = 2 * time.Second
+
+// prober polls every backend's /readyz on an interval and publishes
+// per-backend readiness. A backend is ready iff its latest probe
+// returned 200. Before the first probe completes, backends count as
+// ready — the router must not shed traffic during its own startup
+// races.
+type prober struct {
+	interval time.Duration
+	client   *http.Client
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	state map[string]*backendHealth
+}
+
+type backendHealth struct {
+	ready atomic.Bool
+	// consecutive failed probes, for log damping (first failure logs,
+	// repeats do not).
+	fails atomic.Int64
+}
+
+// newProber builds (but does not start) a prober for the backends.
+func newProber(backends []string, interval time.Duration) *prober {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	p := &prober{
+		interval: interval,
+		client:   &http.Client{Timeout: defaultProbeTimeout},
+		state:    make(map[string]*backendHealth, len(backends)),
+	}
+	for _, b := range backends {
+		h := &backendHealth{}
+		h.ready.Store(true) // optimistic until the first probe lands
+		p.state[b] = h
+	}
+	return p
+}
+
+// start launches the probe loop; stop() cancels it and waits.
+func (p *prober) start(logf func(format string, args ...any)) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	p.wg.Add(1)
+	go p.loop(ctx, logf)
+}
+
+func (p *prober) stop() {
+	if p.cancel != nil {
+		p.cancel()
+	}
+	p.wg.Wait()
+}
+
+// loop probes all backends once per interval until ctx is canceled.
+func (p *prober) loop(ctx context.Context, logf func(format string, args ...any)) {
+	defer p.wg.Done()
+	p.probeAll(ctx, logf) // first sweep immediately, not an interval later
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.probeAll(ctx, logf)
+		}
+	}
+}
+
+// probeAll probes every backend concurrently and waits for the sweep
+// to finish, so one wedged backend cannot delay the others' state
+// updates past the probe timeout.
+func (p *prober) probeAll(ctx context.Context, logf func(format string, args ...any)) {
+	var wg sync.WaitGroup
+	p.mu.Lock()
+	for b, h := range p.state {
+		wg.Add(1)
+		go func(b string, h *backendHealth) {
+			defer wg.Done()
+			p.probeOne(ctx, b, h, logf)
+		}(b, h)
+	}
+	p.mu.Unlock()
+	wg.Wait()
+}
+
+func (p *prober) probeOne(ctx context.Context, backend string, h *backendHealth, logf func(format string, args ...any)) {
+	ctx, cancel := context.WithTimeout(ctx, defaultProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/readyz", nil)
+	if err != nil {
+		p.setReady(backend, h, false, logf, err.Error())
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.setReady(backend, h, false, logf, err.Error())
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	p.setReady(backend, h, resp.StatusCode == http.StatusOK, logf,
+		"readyz returned "+resp.Status)
+}
+
+func (p *prober) setReady(backend string, h *backendHealth, ready bool, logf func(format string, args ...any), detail string) {
+	was := h.ready.Swap(ready)
+	if ready {
+		h.fails.Store(0)
+		if !was && logf != nil {
+			logf("backend %s ready again", backend)
+		}
+		return
+	}
+	if h.fails.Add(1) == 1 && logf != nil {
+		logf("backend %s unready: %s", backend, detail)
+	}
+}
+
+// isReady reports the latest probe verdict for backend; unknown
+// backends read as unready.
+func (p *prober) isReady(backend string) bool {
+	p.mu.Lock()
+	h := p.state[backend]
+	p.mu.Unlock()
+	return h != nil && h.ready.Load()
+}
+
+// unreadyCount returns how many backends are currently unready — the
+// emigre_router_unready_backends gauge.
+func (p *prober) unreadyCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, h := range p.state {
+		if !h.ready.Load() {
+			n++
+		}
+	}
+	return n
+}

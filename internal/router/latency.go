@@ -1,0 +1,73 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedge-delay policy bounds. The adaptive delay is the p95 of recent
+// upstream latencies: hedging earlier than p95 more than doubles
+// upstream load for little tail win ("The Tail at Scale" budgets
+// hedges at ~5% extra load); the floor keeps a fast warm cache from
+// hedging everything, and the ceiling keeps a cold start from never
+// hedging at all.
+const (
+	latencyWindow   = 256
+	minHedgeDelay   = 2 * time.Millisecond
+	maxHedgeDelay   = 2 * time.Second
+	coldHedgeDelay  = 100 * time.Millisecond // until minHedgeSamples observations
+	minHedgeSamples = 8
+)
+
+// latencyTracker is a fixed-size ring of recent upstream latencies
+// feeding the adaptive hedge delay. One tracker per op keeps cheap
+// /recommend calls from dragging the /explain hedge delay down.
+type latencyTracker struct {
+	mu  sync.Mutex
+	buf [latencyWindow]time.Duration
+	n   int // total observations ever
+}
+
+// observe records one upstream latency.
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%latencyWindow] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// hedgeDelay returns the current hedge trigger: p95 of the window,
+// clamped to [minHedgeDelay, maxHedgeDelay], or coldHedgeDelay while
+// the window holds fewer than minHedgeSamples observations.
+func (l *latencyTracker) hedgeDelay() time.Duration {
+	l.mu.Lock()
+	n := l.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	sample := make([]time.Duration, n)
+	copy(sample, l.buf[:n])
+	total := l.n
+	l.mu.Unlock()
+
+	if total < minHedgeSamples {
+		return coldHedgeDelay
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	rank := int(0.95*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	d := sample[rank-1]
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if d > maxHedgeDelay {
+		d = maxHedgeDelay
+	}
+	return d
+}

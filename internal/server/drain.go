@@ -1,0 +1,47 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// ReadinessSetter is the part of a serving tier a graceful drain needs:
+// a switch that flips the readiness probe to 503. Both *Server and the
+// router front implement it.
+type ReadinessSetter interface {
+	SetDraining()
+}
+
+// DefaultDrainGrace is the default readiness grace window: long enough
+// for a prober on a 1s interval to observe the 503 at least once (plus
+// scheduling slack) before the listener stops accepting connections.
+const DefaultDrainGrace = 3 * time.Second
+
+// DrainOrdered shuts a serving tier down in the order load balancers
+// require:
+//
+//  1. flip /readyz to 503 (SetDraining) while the listener keeps
+//     accepting connections, so health probers observe "not ready"
+//     instead of "connection refused";
+//  2. keep serving for the grace window, giving every prober at least
+//     one probe interval to pull the backend out of rotation;
+//  3. only then stop accepting new connections and wait up to timeout
+//     for in-flight requests to finish (http.Server.Shutdown).
+//
+// The returned error is Shutdown's: non-nil when in-flight work outran
+// the timeout. Flipping readiness strictly before the listener closes
+// is the contract the router's health prober depends on — without the
+// grace window a SIGTERM looks like a crash, and the prober only
+// learns about it from refused connections and failed requests.
+func DrainOrdered(rs ReadinessSetter, hs *http.Server, grace, timeout time.Duration) error {
+	rs.SetDraining()
+	if grace > 0 {
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		<-timer.C
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}

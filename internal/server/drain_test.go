@@ -1,0 +1,120 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/why-not-xai/emigre/internal/testleak"
+)
+
+// closeStampListener records the instant the listener stops accepting
+// connections, so the drain-ordering test can compare it against the
+// instant a prober first observed /readyz as 503.
+type closeStampListener struct {
+	net.Listener
+	closedAt *atomic.Int64
+}
+
+func (l *closeStampListener) Close() error {
+	l.closedAt.CompareAndSwap(0, time.Now().UnixNano())
+	return l.Listener.Close()
+}
+
+// TestDrainOrderingReadyzBeforeListenerClose pins the drain contract
+// the router's health prober depends on: after a shutdown signal,
+// /readyz must be observable as 503 over a *fresh* connection strictly
+// before the listener closes. The pre-fix sequence — SetDraining
+// followed immediately by Shutdown — fails this: the listener closes
+// before any prober can connect, so the first signal a prober sees is
+// a refused connection.
+func TestDrainOrderingReadyzBeforeListenerClose(t *testing.T) {
+	testleak.Check(t)
+	srv, _ := newTestServer(t)
+
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closedAt atomic.Int64
+	ln := &closeStampListener{Listener: inner, closedAt: &closedAt}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// Every probe rides its own connection: keep-alive reuse would let a
+	// pre-drain connection survive the listener close and mask the race.
+	probe := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   2 * time.Second,
+	}
+	base := "http://" + ln.Addr().String()
+	get := func() (int, error) {
+		resp, err := probe.Get(base + "/readyz")
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Wait for the listener to come up.
+	up := time.Now().Add(5 * time.Second)
+	for {
+		if code, err := get(); err == nil && code == http.StatusOK {
+			break
+		}
+		if time.Now().After(up) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- DrainOrdered(srv, hs, 500*time.Millisecond, 5*time.Second) }()
+
+	// From the moment the drain starts, the first state change a fresh
+	// connection observes must be 503 — never a refused connection.
+	var saw503At time.Time
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		code, err := get()
+		if err != nil {
+			break // listener closed
+		}
+		if code == http.StatusServiceUnavailable {
+			saw503At = time.Now()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if saw503At.IsZero() {
+		t.Fatal("listener closed before /readyz was ever observed as 503: drain ordering is broken")
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("DrainOrdered: %v", err)
+	}
+	closed := closedAt.Load()
+	if closed == 0 {
+		t.Fatal("listener never closed")
+	}
+	if got := time.Unix(0, closed); !saw503At.Before(got) {
+		t.Fatalf("first 503 observed at %v, listener closed at %v: want 503 strictly first", saw503At, got)
+	}
+
+	// After the drain completes, new connections must be refused.
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after DrainOrdered returned")
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	probe.CloseIdleConnections()
+}

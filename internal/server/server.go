@@ -34,10 +34,17 @@ import (
 	"time"
 
 	emigre "github.com/why-not-xai/emigre"
+	"github.com/why-not-xai/emigre/internal/admit"
 	"github.com/why-not-xai/emigre/internal/cli"
 	"github.com/why-not-xai/emigre/internal/fault"
 	"github.com/why-not-xai/emigre/internal/obs"
 )
+
+// ErrSaturated re-exports the admission controller's saturation
+// sentinel under its historical home: the gate moved to internal/admit
+// when the router grew its own front door, but server-side callers
+// still match on server.ErrSaturated.
+var ErrSaturated = admit.ErrSaturated
 
 // Tuning defaults used when the corresponding Config field is zero.
 const (
@@ -120,7 +127,7 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	// adm gates the expensive counterfactual searches.
-	adm      *admission
+	adm      *admit.Controller
 	capacity int64
 	timeout  time.Duration
 	log      *log.Logger
@@ -196,7 +203,7 @@ func New(cfg Config) (*Server, error) {
 		g:        cfg.Graph,
 		r:        r,
 		ex:       emigre.NewExplainer(cfg.Graph, r, cfg.Options),
-		adm:      newAdmission(int64(capacity), queue),
+		adm:      admit.New(int64(capacity), queue),
 		capacity: int64(capacity),
 		timeout:  timeout,
 		log:      logger,
@@ -283,9 +290,9 @@ func (s *Server) registerMetrics() {
 		s.cache.RegisterMetrics(reg)
 	}
 
-	s.adm.rejections = reg.Counter("emigre_admission_rejections_total",
+	s.adm.Rejections = reg.Counter("emigre_admission_rejections_total",
 		"Requests shed with 503: queue full on arrival.")
-	s.adm.clamped = reg.Counter("emigre_admission_clamped_weights_total",
+	s.adm.Clamped = reg.Counter("emigre_admission_clamped_weights_total",
 		"Admission weights clamped down to capacity (requests wider than the whole gate).")
 	reg.GaugeFunc("emigre_admission_inflight_units",
 		"Units of search work currently admitted.", s.adm.Used)

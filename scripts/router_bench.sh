@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# router_bench.sh — produce BENCH_router.json, the horizontal scale-out
+# baseline for cmd/emigre-router.
+#
+# Topology A: one backend behind the router. Topology B: three backends
+# behind the router. Both legs run the identical seeded closed-loop
+# emigre-loadgen stream through the router, so the request mix
+# (including the deterministic 422 share) is byte-identical and the
+# error rates must match; only the backend count differs.
+#
+# Per-node capacity is emulated machine-independently: every backend
+# runs with -max-concurrent 1 (one explain in service at a time) and a
+# 40ms injected CHECK sleep, so a node's ceiling is ~25 explains/s
+# regardless of host core count or speed. Scale-out throughput then
+# comes from the router fanning the keyspace across nodes — which is
+# the property this bench gates — not from oversubscribing local CPUs,
+# and the committed numbers reproduce on a 1-core CI runner.
+#
+# The workload is the emigre-gen small graph: 30 users (user-0..29)
+# hit uniformly, so shard load tracks the hash split. BASE_PORT is
+# pinned to an even split of that population (10/10/10 at 18128) —
+# backend identity is its address, so the split is a deterministic
+# function of the ports, and an adversarial split would measure hash
+# variance on a 30-key population rather than router scale-out.
+#
+# Usage: scripts/router_bench.sh [out.json]   (default BENCH_router.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_router.json}"
+BASE_PORT="${BASE_PORT:-18128}"
+COUNT="${COUNT:-600}"
+SEED="${SEED:-7}"
+CONCURRENCY="${CONCURRENCY:-10}"
+SLEEP_MS="${SLEEP_MS:-40}"
+# CHECK budget per request. The sleep makes each CHECK a fixed quantum
+# of node capacity; capping the budget bounds the cost of any single
+# request, so shard load tracks request count instead of being decided
+# by a handful of 200-CHECK whales landing on one shard. The workload
+# is diagnose-only: diagnosis runs the same admission-gated CHECK
+# machinery but answers 200 for any resolvable pair, so the baseline's
+# error rate stays at the true 4xx share (~4%) instead of the ~98%
+# "no explanation found" share a random-pair explain stream yields.
+MAX_TESTS="${MAX_TESTS:-4}"
+OP_MIX="${OP_MIX:-diagnose=1}"
+BIN="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/emigre-server" ./cmd/emigre-server
+go build -o "$BIN/emigre-router" ./cmd/emigre-router
+go build -o "$BIN/emigre-loadgen" ./cmd/emigre-loadgen
+go build -o "$BIN/emigre-routerbench" ./cmd/emigre-routerbench
+go run ./cmd/emigre-gen -preset small -seed 1 -stats=false -out "$BIN/small.json"
+
+USERS=$(seq -s, -f 'user-%g' 0 29)
+ITEMS=$(seq -s, -f 'item-%g' 0 59)
+
+start_backend() { # port
+  "$BIN/emigre-server" -graph "$BIN/small.json" -addr "127.0.0.1:$1" \
+    -max-concurrent 1 -queue-depth 16 -max-tests "$MAX_TESTS" \
+    -failpoints "emigre.check=sleep(${SLEEP_MS}ms)" &
+  PIDS+=($!)
+}
+
+wait_ready() { # url
+  for _ in $(seq 1 100); do
+    curl -fsS "$1" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "router_bench: $1 never became ready" >&2
+  exit 1
+}
+
+run_loadgen() { # router-port out.json desc
+  "$BIN/emigre-loadgen" -mode run -addr "http://127.0.0.1:$1" \
+    -seed "$SEED" -count "$COUNT" -arrival closed -concurrency "$CONCURRENCY" \
+    -op-mix "$OP_MIX" -users "$USERS" -items "$ITEMS" -user-skew 0 -item-skew 0 \
+    -bench "$2" -bench-desc "$3" -quiet
+}
+
+# --- Topology A: router over one backend -----------------------------
+P0=$BASE_PORT
+start_backend "$P0"
+wait_ready "http://127.0.0.1:$P0/healthz"
+RP=$((BASE_PORT + 10))
+# -hedge-after 5s: the bench measures sharded throughput, so hedging is
+# pinned out of both legs rather than left to the adaptive p95 delay.
+"$BIN/emigre-router" -listen "127.0.0.1:$RP" -backends "127.0.0.1:$P0" \
+  -hedge-after 5s &
+PIDS+=($!)
+wait_ready "http://127.0.0.1:$RP/readyz"
+run_loadgen "$RP" "$BIN/single.json" "router over 1 backend, closed loop c=$CONCURRENCY"
+kill "${PIDS[@]}" 2>/dev/null || true
+wait 2>/dev/null || true
+PIDS=()
+
+# --- Topology B: router over three backends --------------------------
+P1=$((BASE_PORT + 1)); P2=$((BASE_PORT + 2)); P3=$((BASE_PORT + 3))
+for p in "$P1" "$P2" "$P3"; do start_backend "$p"; done
+for p in "$P1" "$P2" "$P3"; do wait_ready "http://127.0.0.1:$p/healthz"; done
+RP3=$((BASE_PORT + 11))
+"$BIN/emigre-router" -listen "127.0.0.1:$RP3" \
+  -backends "127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3" \
+  -hedge-after 5s &
+PIDS+=($!)
+wait_ready "http://127.0.0.1:$RP3/readyz"
+run_loadgen "$RP3" "$BIN/routed.json" "router over 3 backends, closed loop c=$CONCURRENCY"
+
+# --- Merge + gate ----------------------------------------------------
+"$BIN/emigre-routerbench" -single "$BIN/single.json" -routed "$BIN/routed.json" \
+  -out "$OUT" -min-speedup 2.0 -max-error-delta 0.02 \
+  -desc "emigre-router scale-out: seeded closed-loop loadgen (seed $SEED, $COUNT ops of $OP_MIX over 30 uniform users, c=$CONCURRENCY) vs 1 and 3 capacity-capped small-graph backends (-max-concurrent 1, ${SLEEP_MS}ms CHECK sleep)"
+echo "router_bench: wrote $OUT"
